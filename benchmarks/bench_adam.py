@@ -1,0 +1,16 @@
+"""Section V-B: IR ACC versus ADAM (paper: 30.2x-69.1x, avg 41.4x)."""
+
+from conftest import bench_replication
+
+from repro.experiments import comparisons
+
+
+def test_adam_comparison(once):
+    outcome = once(
+        comparisons.run,
+        sites_per_chromosome=48,
+        replication=bench_replication(),
+        chromosomes=("2", "9", "21"),
+    )
+    assert 15 < outcome.adam_gmean < 80  # paper avg: 41.4x
+    assert all(s > 10 for s in outcome.adam_speedups)

@@ -1,0 +1,8 @@
+"""Figure 4: the worked WHD example (every number pinned)."""
+
+from repro.experiments import figure4
+
+
+def test_figure4_worked_example(once):
+    outcome = once(figure4.main)
+    assert outcome.matches_paper

@@ -1,0 +1,15 @@
+"""Section V-B: the SDAccel HLS build (paper: only 1.3x-3.1x over GATK3)."""
+
+from conftest import bench_replication
+
+from repro.experiments import comparisons
+
+
+def test_hls_comparison(once):
+    outcome = once(
+        comparisons.main,
+    )
+    lo, hi = outcome.hls_range
+    # The HLS build helps, but an order of magnitude less than IR ACC.
+    assert 0.8 < lo <= hi < 8.0
+    assert hi < outcome.figure9.gmean_speedup / 5

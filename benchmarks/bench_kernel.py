@@ -1,0 +1,51 @@
+"""Microbenchmarks of the WHD kernel itself (repeatable timing runs).
+
+These use pytest-benchmark's normal repetition (unlike the
+workload-scale ``once`` benches) to give stable figures for the two
+kernel forms and the simulator's analytic mode.
+"""
+
+import numpy as np
+
+from repro.core.accelerator import IRUnit, UnitConfig
+from repro.core.hdc import HammingDistanceCalculator
+from repro.genomics.sequence import seq_to_array
+from repro.realign.whd import realign_site, whd_profile
+from repro.workloads.generator import BENCH_PROFILE, synthesize_site
+
+
+def _pair(m=1024, n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    codes = np.frombuffer(b"ACGT", dtype=np.uint8)
+    cons = codes[rng.integers(0, 4, m)]
+    read = np.concatenate([cons[100:100 + n // 2],
+                           codes[rng.integers(0, 4, n - n // 2)]])
+    quals = rng.integers(20, 41, n).astype(np.uint8)
+    return cons, read, quals
+
+
+def test_whd_profile_kernel(benchmark):
+    cons, read, quals = _pair()
+    profile = benchmark(whd_profile, cons, read, quals)
+    assert profile.shape == (1024 - 200 + 1,)
+
+
+def test_hdc_analytic_parallel(benchmark):
+    cons, read, quals = _pair()
+    hdc = HammingDistanceCalculator(lanes=32, prune=True)
+    result = benchmark(hdc.compute_pair, cons, read, quals)
+    assert result.comparisons <= result.unpruned_comparisons
+
+
+def test_hdc_analytic_scalar(benchmark):
+    cons, read, quals = _pair()
+    hdc = HammingDistanceCalculator(lanes=1, prune=True)
+    result = benchmark(hdc.compute_pair, cons, read, quals)
+    assert result.cycles > 0
+
+
+def test_site_through_unit(benchmark):
+    site = synthesize_site(np.random.default_rng(1), BENCH_PROFILE)
+    unit = IRUnit(UnitConfig(lanes=32))
+    result = benchmark(unit.run_site, site)
+    assert result.matches(realign_site(site))

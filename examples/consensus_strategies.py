@@ -1,0 +1,84 @@
+"""Observed-INDEL vs de Bruijn-assembly consensus generation.
+
+The paper situates its position-based IR against the graph-based callers
+that were emerging at the time (Section II: GATK4's HaplotypeCaller and
+Mutect2 assemble haplotypes with de Bruijn graphs, but "in its current
+state produces low quality variants and cannot be used for somatic
+calling"). The reproduction implements both consensus-generation
+strategies behind the same WHD kernel and accelerator; this example runs
+them head to head on one simulated sample and reports agreement, work,
+and wall-clock.
+
+Run:  python examples/consensus_strategies.py
+"""
+
+import time
+
+from repro.experiments.reporting import format_table
+from repro.genomics.simulate import SimulationProfile, simulate_sample
+from repro.realign.realigner import IndelRealigner
+from repro.variants.caller import SomaticCaller
+from repro.variants.evaluation import evaluate_calls
+
+
+def run_strategy(sample, strategy: str):
+    realigner = IndelRealigner(sample.reference,
+                               consensus_strategy=strategy)
+    start = time.perf_counter()
+    reads, report = realigner.realign(sample.reads)
+    seconds = time.perf_counter() - start
+    calls = SomaticCaller(sample.reference).call(reads)
+    evaluation = evaluate_calls(calls, sample.truth_variants)
+    return reads, report, evaluation, seconds
+
+
+def main():
+    profile = SimulationProfile(
+        coverage=25, indel_rate=1e-3, snp_rate=8e-4, hotspot_mass=0.1,
+    )
+    sample = simulate_sample({"chr9": 12_000}, profile=profile, seed=41)
+    print(f"sample: {len(sample.reads)} reads, "
+          f"{sum(1 for v in sample.truth_variants if v.is_indel)} truth "
+          f"INDELs\n")
+
+    results = {}
+    for strategy in ("observed", "assembly"):
+        reads, report, evaluation, seconds = run_strategy(sample, strategy)
+        results[strategy] = (reads, report, evaluation, seconds)
+
+    rows = []
+    for strategy, (reads, report, evaluation, seconds) in results.items():
+        rows.append([
+            strategy,
+            report.sites_built,
+            report.reads_realigned,
+            f"{report.unpruned_comparisons:,}",
+            f"{evaluation.precision:.2f}",
+            f"{evaluation.recall:.2f}",
+            f"{seconds:.1f}s",
+        ])
+    print(format_table(
+        ["consensus strategy", "sites", "realigned", "kernel comparisons",
+         "precision", "recall", "host time"],
+        rows,
+    ))
+
+    observed_reads = results["observed"][0]
+    assembly_reads = results["assembly"][0]
+    agree = sum(
+        1 for a, b in zip(observed_reads, assembly_reads)
+        if a.pos == b.pos and str(a.cigar) == str(b.cigar)
+    )
+    print(f"\nread placements agreeing between strategies: "
+          f"{agree}/{len(observed_reads)} "
+          f"({agree / len(observed_reads):.1%})")
+    print("\nTakeaway: the CIGAR-observation strategy (what the paper's "
+          "hardware accelerates) and local assembly generate largely the "
+          "same consensuses on short-INDEL data; assembly pays a much "
+          "larger host-side cost, which is the paper's argument for "
+          "accelerating the position-based pipeline that somatic callers "
+          "still rely on.")
+
+
+if __name__ == "__main__":
+    main()

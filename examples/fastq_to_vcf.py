@@ -1,0 +1,96 @@
+"""FASTQ to VCF: the complete Figure 1 flow on owned components.
+
+Runs all three of the paper's pipelines end to end with no simulated
+alignments -- the reads start as unaligned FASTQ and go through:
+
+1. **primary alignment** (pipeline 1): the seed-and-extend aligner
+   (suffix-array seeding + affine Smith-Waterman extension);
+2. **alignment refinement** (pipeline 2): sort, duplicate marking,
+   INDEL realignment on the FPGA system model, BQSR;
+3. **variant calling** (pipeline 3): the somatic caller, evaluated
+   against the simulator's truth set.
+
+Per-stage work counters show where the time goes, mirroring Figure 2's
+breakdown on a laptop-scale sample.
+
+Run:  python examples/fastq_to_vcf.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.align.seed_extend import SeedAndExtendAligner
+from repro.core.system import SystemConfig
+from repro.genomics.fastq import FastqRecord
+from repro.genomics.reference import ReferenceGenome
+from repro.genomics.simulate import ReadSimulator, SimulationProfile
+from repro.refinement.pipeline import RefinementPipeline
+from repro.variants.caller import SomaticCaller
+from repro.variants.evaluation import evaluate_calls
+
+
+def make_fastq_sample(seed: int = 31):
+    """Simulate a donor genome and strip the reads back to FASTQ."""
+    rng = np.random.default_rng(seed)
+    reference = ReferenceGenome.random({"chr20": 8_000}, rng)
+    profile = SimulationProfile(
+        read_length=100, coverage=25, indel_rate=1.2e-3, snp_rate=1e-3,
+        hotspot_mass=0.0, base_error_rate=0.003,
+    )
+    simulator = ReadSimulator(reference, profile, seed=seed + 1)
+    sample = simulator.simulate()
+    records = [
+        FastqRecord(read.name, read.seq, read.quals) for read in sample.reads
+    ]
+    return reference, records, sample.truth_variants
+
+
+def main():
+    reference, records, truth = make_fastq_sample()
+    print(f"input: {len(records)} FASTQ reads, "
+          f"{len(truth)} truth variants "
+          f"({sum(1 for v in truth if v.is_indel)} INDELs)")
+
+    # --- pipeline 1: primary alignment ---------------------------------
+    start = time.perf_counter()
+    aligner = SeedAndExtendAligner(reference)
+    aligned = aligner.align(records)
+    align_seconds = time.perf_counter() - start
+    mapped = [read for read in aligned if read.is_mapped]
+    stats = aligner.stats
+    print(f"\nprimary alignment: {len(mapped)}/{len(aligned)} mapped "
+          f"in {align_seconds:.1f}s")
+    print(f"  seeds generated:        {stats.seeds_generated:,}")
+    print(f"  suffix-array lookups:   {stats.suffix_array_lookups:,}")
+    print(f"  Smith-Waterman cells:   {stats.dp_cells:,}")
+
+    from repro.genomics.stats import compute_stats, format_stats
+
+    print("\nalignment QC:")
+    for line in format_stats(compute_stats(mapped, reference)).splitlines():
+        print(f"  {line}")
+
+    # --- pipeline 2: alignment refinement ------------------------------
+    pipeline = RefinementPipeline(reference, use_accelerator=True,
+                                  system_config=SystemConfig.iracc())
+    refined = pipeline.run(mapped)
+    print("\nalignment refinement:")
+    for stage in refined.stages:
+        print(f"  {stage.stage:36s} {stage.seconds:7.3f}s "
+              f"({refined.fraction(stage.stage):5.1%})")
+    print(f"  reads realigned: {refined.realigner_report.reads_realigned}")
+
+    # --- pipeline 3: variant calling ------------------------------------
+    caller = SomaticCaller(reference)
+    raw_eval = evaluate_calls(caller.call(mapped), truth)
+    refined_eval = evaluate_calls(caller.call(refined.reads), truth)
+    print(f"\nvariant calling (against truth):")
+    print(f"  pre-refinement : precision {raw_eval.precision:.2f} "
+          f"recall {raw_eval.recall:.2f} F1 {raw_eval.f1:.2f}")
+    print(f"  post-refinement: precision {refined_eval.precision:.2f} "
+          f"recall {refined_eval.recall:.2f} F1 {refined_eval.f1:.2f}")
+
+
+if __name__ == "__main__":
+    main()

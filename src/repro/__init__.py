@@ -1,0 +1,43 @@
+"""Reproduction of "FPGA Accelerated INDEL Realignment in the Cloud" (HPCA 2019).
+
+This package implements, in Python, the full system described in the paper:
+
+- :mod:`repro.genomics` -- sequence, read, and reference primitives plus a
+  synthetic read simulator (substitute for the NA12878 dataset).
+- :mod:`repro.align` -- a primary-alignment substrate (Smith-Waterman,
+  suffix-array seed lookup, seed-and-extend aligner).
+- :mod:`repro.realign` -- the INDEL realignment algorithm itself (the paper's
+  Algorithms 1 and 2), target identification, and consensus generation.
+- :mod:`repro.refinement` -- the GATK3-style alignment-refinement pipeline
+  (sort, duplicate marking, INDEL realignment, BQSR).
+- :mod:`repro.variants` -- a pileup-based somatic variant caller used to
+  demonstrate IR's end-to-end accuracy effect.
+- :mod:`repro.hw` -- FPGA substrate models: clocks, BRAM/CLB resources,
+  DDR/PCIe timing, AXI and TileLink interconnect, arbiters.
+- :mod:`repro.core` -- the paper's contribution: the IR accelerator unit
+  (Hamming distance calculator, consensus selector, computation pruning),
+  the RoCC instruction set, schedulers, and the 32-unit accelerated system.
+- :mod:`repro.perf` -- calibrated performance and cloud-cost models.
+- :mod:`repro.baselines` -- GATK3, ADAM, HLS, and GPU comparison models.
+- :mod:`repro.workloads` -- per-chromosome target census and generators.
+- :mod:`repro.experiments` -- one module per paper table/figure.
+
+See ``DESIGN.md`` for the full inventory and ``EXPERIMENTS.md`` for
+paper-versus-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "genomics",
+    "align",
+    "realign",
+    "refinement",
+    "variants",
+    "hw",
+    "core",
+    "perf",
+    "baselines",
+    "workloads",
+    "experiments",
+]

@@ -1,0 +1,157 @@
+"""Command-line driver: ``python -m repro <command>``.
+
+Commands:
+
+- ``figure2`` / ``figure3`` / ``figure4`` / ``figure7`` / ``figure9`` /
+  ``tables`` / ``microarch`` / ``comparisons`` -- print one experiment's
+  paper-versus-measured tables (the same code the benchmark harness
+  runs).
+- ``all`` -- run every experiment in order.
+- ``simulate`` -- write a synthetic sample (FASTA + SAM) to a directory.
+- ``realign`` -- run the software INDEL realigner over a SAM file.
+
+Examples::
+
+    python -m repro figure9 --sites 48 --replication 16
+    python -m repro simulate --length 30000 --out /tmp/sample
+    python -m repro realign --reference /tmp/sample/reference.fa \
+        --sam /tmp/sample/aligned.sam --out /tmp/sample/realigned.sam
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_experiment(name: str, args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        comparisons,
+        figure2,
+        figure3,
+        figure4,
+        figure7,
+        figure9,
+        microarch,
+        tables,
+    )
+
+    if name == "figure9":
+        figure9.main(sites_per_chromosome=args.sites,
+                     replication=args.replication)
+        return 0
+    if name == "comparisons":
+        comparisons.main()
+        return 0
+    from repro.experiments import appendix
+
+    module = {
+        "figure2": figure2, "figure3": figure3, "figure4": figure4,
+        "figure7": figure7, "microarch": microarch, "appendix": appendix,
+    }.get(name)
+    if module is not None:
+        module.main()
+        return 0
+    if name == "tables":
+        tables.main()
+        return 0
+    if name == "all":
+        for experiment in ("figure2", "figure3", "figure4", "tables",
+                           "figure7", "appendix", "microarch", "figure9"):
+            _cmd_experiment(experiment, args)
+            print()
+        return 0
+    raise AssertionError(f"unhandled experiment {name}")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.genomics.fasta import write_reference
+    from repro.genomics.samlite import write_sam
+    from repro.genomics.simulate import SimulationProfile, simulate_sample
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    profile = SimulationProfile(
+        coverage=args.coverage, indel_rate=args.indel_rate,
+    )
+    sample = simulate_sample({args.contig: args.length}, profile=profile,
+                             seed=args.seed)
+    write_reference(sample.reference, out / "reference.fa")
+    write_sam(sample.reads, out / "aligned.sam", sample.reference)
+    with open(out / "truth.txt", "w") as handle:
+        for variant in sample.truth_variants:
+            handle.write(variant.describe() + "\n")
+    print(f"wrote {len(sample.reads)} reads, "
+          f"{len(sample.truth_variants)} truth variants to {out}")
+    return 0
+
+
+def _cmd_realign(args: argparse.Namespace) -> int:
+    from repro.core.system import AcceleratedRealigner, SystemConfig
+    from repro.genomics.fasta import read_reference
+    from repro.genomics.samlite import read_sam, write_sam
+    from repro.realign.realigner import IndelRealigner
+
+    reference = read_reference(args.reference)
+    reads = read_sam(args.sam)
+    if args.accelerated:
+        realigner = AcceleratedRealigner(reference, SystemConfig.iracc())
+        updated, run, report = realigner.realign(reads)
+        print(f"accelerated run: {run.total_seconds * 1e3:.2f} modelled ms, "
+              f"{run.pruned_fraction:.0%} of comparisons pruned")
+    else:
+        updated, report = IndelRealigner(reference).realign(reads)
+    write_sam(updated, args.out, reference)
+    print(f"{report.targets_identified} targets, {report.sites_built} sites, "
+          f"{report.reads_realigned} reads realigned -> {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="HPCA'19 FPGA INDEL realignment reproduction driver",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("figure2", "figure3", "figure4", "figure7", "tables",
+                 "appendix", "microarch", "comparisons", "all"):
+        sub.add_parser(name, help=f"run the {name} experiment")
+    figure9_parser = sub.add_parser("figure9", help="run the figure9 experiment")
+    figure9_parser.add_argument("--sites", type=int, default=96,
+                                help="sites per chromosome")
+    figure9_parser.add_argument("--replication", type=int, default=24,
+                                help="schedule replication rounds")
+
+    simulate = sub.add_parser("simulate", help="write a synthetic sample")
+    simulate.add_argument("--out", required=True)
+    simulate.add_argument("--contig", default="chr22")
+    simulate.add_argument("--length", type=int, default=30_000)
+    simulate.add_argument("--coverage", type=float, default=40.0)
+    simulate.add_argument("--indel-rate", type=float, default=8e-4)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    realign = sub.add_parser("realign", help="realign a SAM file")
+    realign.add_argument("--reference", required=True)
+    realign.add_argument("--sam", required=True)
+    realign.add_argument("--out", required=True)
+    realign.add_argument("--accelerated", action="store_true",
+                         help="run the kernel on the FPGA system model")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "realign":
+        return _cmd_realign(args)
+    if not hasattr(args, "sites"):
+        args.sites = 96
+        args.replication = 24
+    return _cmd_experiment(args.command, args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""FM-index: BWT-based exact-match seeding (BWA's actual index).
+
+The suffix array in :mod:`repro.align.suffix_array` answers the same
+queries, but BWA-MEM's SMEM generation really runs on an FM-index --
+backward search over the Burrows-Wheeler transform with O(1) rank
+queries -- so the substrate provides one. Both indexes are
+property-tested against each other and against naive search.
+
+Components:
+
+- the BWT, built from the suffix array (position i holds the character
+  preceding suffix SA[i]);
+- ``C[c]``: for each character, the count of smaller characters in the
+  text (the start of c's band in the sorted rotation matrix);
+- sampled occurrence tables (``Occ``) giving rank(c, i) in O(1) with a
+  small scan, the classic space/time knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.align.suffix_array import SuffixArray
+
+#: End-of-text sentinel; lexicographically smaller than every base.
+SENTINEL = "$"
+
+
+@dataclass
+class FMIndex:
+    """FM-index over a text, supporting backward-search match counting
+    and location."""
+
+    text: str
+    suffix_array: np.ndarray  # SA of text + sentinel
+    bwt: str
+    char_starts: Dict[str, int]  # C[c]
+    occ_samples: Dict[str, np.ndarray]  # rank(c, i) at sample points
+    sample_rate: int
+
+    @classmethod
+    def build(cls, text: str, sample_rate: int = 32) -> "FMIndex":
+        """Construct from the prefix-doubling suffix array."""
+        if not text:
+            raise ValueError("cannot index an empty text")
+        if SENTINEL in text:
+            raise ValueError("text must not contain the sentinel")
+        if sample_rate < 1:
+            raise ValueError("sample rate must be positive")
+        augmented = text + SENTINEL
+        # Suffix array of the sentinel-terminated text: the sentinel is
+        # ASCII-smaller than A/C/G/T/N, so plain byte order works.
+        inner = SuffixArray.build(augmented)
+        sa = inner.suffixes.astype(np.int64)
+        bwt_chars = [
+            augmented[(int(pos) - 1) % len(augmented)] for pos in sa
+        ]
+        bwt = "".join(bwt_chars)
+        # C table from character frequencies.
+        counts: Dict[str, int] = {}
+        for char in augmented:
+            counts[char] = counts.get(char, 0) + 1
+        char_starts: Dict[str, int] = {}
+        running = 0
+        for char in sorted(counts):
+            char_starts[char] = running
+            running += counts[char]
+        # Sampled Occ: occ_samples[c][k] = rank(c, k * sample_rate),
+        # including the final sample point at len(bwt) when it lands on
+        # a sample boundary.
+        alphabet = sorted(counts)
+        bwt_array = np.frombuffer(bwt.encode("ascii"), dtype=np.uint8)
+        sample_positions = np.arange(0, len(bwt) // sample_rate + 1) * sample_rate
+        occ_samples = {}
+        for char in alphabet:
+            cumulative = np.concatenate((
+                [0], np.cumsum(bwt_array == ord(char), dtype=np.int64)
+            ))
+            occ_samples[char] = cumulative[sample_positions]
+        return cls(
+            text=text,
+            suffix_array=sa,
+            bwt=bwt,
+            char_starts=char_starts,
+            occ_samples=occ_samples,
+            sample_rate=sample_rate,
+        )
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+    def rank(self, char: str, position: int) -> int:
+        """Occurrences of ``char`` in ``bwt[:position]`` (O(sample_rate))."""
+        if not 0 <= position <= len(self.bwt):
+            raise ValueError(f"rank position {position} out of range")
+        if char not in self.occ_samples:
+            return 0
+        sample = position // self.sample_rate
+        count = int(self.occ_samples[char][sample])
+        for i in range(sample * self.sample_rate, position):
+            if self.bwt[i] == char:
+                count += 1
+        return count
+
+    def backward_search(self, pattern: str) -> Tuple[int, int]:
+        """The BWT band ``[lo, hi)`` of rotations prefixed by ``pattern``.
+
+        Empty band (``lo >= hi``) means no occurrence. This is the
+        operation BWA repeats per seed base -- the "Suffix Array
+        Lookup" stage of Figure 2.
+        """
+        if not pattern:
+            raise ValueError("empty pattern")
+        lo, hi = 0, len(self.bwt)
+        for char in reversed(pattern):
+            if char not in self.char_starts:
+                return (0, 0)
+            start = self.char_starts[char]
+            lo = start + self.rank(char, lo)
+            hi = start + self.rank(char, hi)
+            if lo >= hi:
+                return (0, 0)
+        return (lo, hi)
+
+    def count(self, pattern: str) -> int:
+        lo, hi = self.backward_search(pattern)
+        return max(0, hi - lo)
+
+    def find(self, pattern: str) -> List[int]:
+        """All text positions where ``pattern`` occurs, sorted."""
+        lo, hi = self.backward_search(pattern)
+        return sorted(int(self.suffix_array[i]) for i in range(lo, hi))
+
+    def longest_suffix_match(self, query: str) -> Tuple[int, int]:
+        """Length and count of the longest query *suffix* present in the
+        text -- the backward-extension primitive under SMEM generation.
+
+        Returns ``(match_length, occurrences)``.
+        """
+        if not query:
+            return (0, 0)
+        lo, hi = 0, len(self.bwt)
+        matched = 0
+        for char in reversed(query):
+            if char not in self.char_starts:
+                break
+            start = self.char_starts[char]
+            new_lo = start + self.rank(char, lo)
+            new_hi = start + self.rank(char, hi)
+            if new_lo >= new_hi:
+                break
+            lo, hi = new_lo, new_hi
+            matched += 1
+        if matched == 0:
+            return (0, 0)
+        return (matched, hi - lo)

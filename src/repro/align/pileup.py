@@ -1,0 +1,100 @@
+"""Per-locus pileups over aligned reads.
+
+A pileup column collects, for one reference position, every read base
+aligned across it (with its quality), plus the INDELs anchored there.
+Consumers: the variant caller (:mod:`repro.variants.caller`) and INDEL
+target identification (:mod:`repro.realign.targets`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.genomics.cigar import CigarOp
+from repro.genomics.read import Read
+
+
+@dataclass
+class PileupColumn:
+    """All evidence aligned over one reference position."""
+
+    chrom: str
+    pos: int
+    bases: List[str] = field(default_factory=list)
+    quals: List[int] = field(default_factory=list)
+    insertions: List[str] = field(default_factory=list)  # inserted bases after pos
+    deletions: List[int] = field(default_factory=list)  # deletion lengths after pos
+
+    @property
+    def depth(self) -> int:
+        return len(self.bases)
+
+    def base_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for base in self.bases:
+            counts[base] = counts.get(base, 0) + 1
+        return counts
+
+    def base_quality_sums(self) -> Dict[str, int]:
+        """Sum of Phred scores supporting each observed base."""
+        sums: Dict[str, int] = {}
+        for base, qual in zip(self.bases, self.quals):
+            sums[base] = sums.get(base, 0) + qual
+        return sums
+
+
+def pileup(reads: Iterable[Read], skip_duplicates: bool = True
+           ) -> Dict[Tuple[str, int], PileupColumn]:
+    """Build pileup columns for every position any read covers.
+
+    Soft-clipped bases are excluded (they are unaligned by definition);
+    insertions attach to the column of the preceding aligned base, and a
+    deletion of length L records L at the column before the deleted run,
+    matching samtools pileup conventions closely enough for the caller.
+    """
+    columns: Dict[Tuple[str, int], PileupColumn] = {}
+
+    def column(chrom: str, pos: int) -> PileupColumn:
+        key = (chrom, pos)
+        existing = columns.get(key)
+        if existing is None:
+            existing = PileupColumn(chrom=chrom, pos=pos)
+            columns[key] = existing
+        return existing
+
+    for read in reads:
+        if not read.is_mapped:
+            continue
+        if skip_duplicates and read.is_duplicate:
+            continue
+        read_offset = 0
+        ref_pos = read.pos
+        for op, length in read.cigar:
+            if op is CigarOp.MATCH:
+                for i in range(length):
+                    col = column(read.chrom, ref_pos + i)
+                    col.bases.append(read.seq[read_offset + i])
+                    col.quals.append(int(read.quals[read_offset + i]))
+                read_offset += length
+                ref_pos += length
+            elif op is CigarOp.INSERTION:
+                if ref_pos > read.pos:
+                    col = column(read.chrom, ref_pos - 1)
+                    col.insertions.append(
+                        read.seq[read_offset : read_offset + length]
+                    )
+                read_offset += length
+            elif op is CigarOp.DELETION:
+                if ref_pos > read.pos:
+                    column(read.chrom, ref_pos - 1).deletions.append(length)
+                ref_pos += length
+            elif op is CigarOp.SOFT_CLIP:
+                read_offset += length
+    return columns
+
+
+def max_depth(columns: Dict[Tuple[str, int], PileupColumn]) -> int:
+    """Deepest column in a pileup (0 when empty)."""
+    return max((col.depth for col in columns.values()), default=0)

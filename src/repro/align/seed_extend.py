@@ -1,0 +1,161 @@
+"""Seed-and-extend read aligner (BWA-MEM-style).
+
+Structure mirrors the BWA-MEM stages in the paper's Figure 2 breakdown:
+
+1. **Seed generation** -- sample fixed-length k-mers from the read
+   (SMEM-generation stand-in).
+2. **Suffix-array lookup** -- locate exact seed hits on each contig.
+3. **Seed extension (Smith-Waterman)** -- extend the best-supported
+   candidate window with local alignment and emit a CIGAR.
+
+Per-stage work counters feed the Figure 2 execution-breakdown experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.align.smith_waterman import (
+    AlignmentResult,
+    ScoringScheme,
+    alignment_to_read_cigar,
+    smith_waterman,
+)
+from repro.align.suffix_array import SuffixArray
+from repro.genomics.fastq import FastqRecord
+from repro.genomics.read import Read
+from repro.genomics.reference import ReferenceGenome
+
+
+@dataclass
+class AlignerStats:
+    """Work counters, one per BWA-MEM stage named in Figure 2."""
+
+    reads_total: int = 0
+    reads_aligned: int = 0
+    seeds_generated: int = 0
+    suffix_array_lookups: int = 0
+    seed_hits: int = 0
+    extensions: int = 0
+    dp_cells: int = 0
+
+    def merge(self, other: "AlignerStats") -> None:
+        self.reads_total += other.reads_total
+        self.reads_aligned += other.reads_aligned
+        self.seeds_generated += other.seeds_generated
+        self.suffix_array_lookups += other.suffix_array_lookups
+        self.seed_hits += other.seed_hits
+        self.extensions += other.extensions
+        self.dp_cells += other.dp_cells
+
+
+@dataclass(frozen=True)
+class AlignerConfig:
+    seed_length: int = 19  # BWA-MEM default minimum seed length
+    seed_stride: int = 10
+    max_hits_per_seed: int = 64
+    window_padding: int = 32
+    min_score_fraction: float = 0.4  # of the perfect-match score
+    scoring: ScoringScheme = field(default_factory=ScoringScheme)
+
+    def __post_init__(self) -> None:
+        if self.seed_length <= 0 or self.seed_stride <= 0:
+            raise ValueError("seed length and stride must be positive")
+        if not 0 < self.min_score_fraction <= 1:
+            raise ValueError("min_score_fraction must be in (0, 1]")
+
+
+class SeedAndExtendAligner:
+    """Aligns FASTQ records against a reference genome."""
+
+    def __init__(self, reference: ReferenceGenome,
+                 config: Optional[AlignerConfig] = None):
+        self.reference = reference
+        self.config = config or AlignerConfig()
+        self.stats = AlignerStats()
+        self._indexes: Dict[str, SuffixArray] = {
+            contig.name: SuffixArray.build(contig.sequence)
+            for contig in reference
+        }
+
+    def _seeds(self, seq: str) -> List[Tuple[int, str]]:
+        """Sample (read_offset, kmer) seeds along the read."""
+        k = self.config.seed_length
+        if len(seq) < k:
+            return [(0, seq)]
+        offsets = list(range(0, len(seq) - k + 1, self.config.seed_stride))
+        if offsets[-1] != len(seq) - k:
+            offsets.append(len(seq) - k)
+        return [(off, seq[off : off + k]) for off in offsets]
+
+    def _candidate_windows(self, seq: str) -> List[Tuple[str, int, int]]:
+        """Vote seed hits into diagonal bins; return supported windows."""
+        votes: Dict[Tuple[str, int], int] = {}
+        for read_offset, kmer in self._seeds(seq):
+            self.stats.seeds_generated += 1
+            if "N" in kmer:
+                continue
+            for chrom, index in self._indexes.items():
+                self.stats.suffix_array_lookups += 1
+                hits = index.find(kmer)
+                if len(hits) > self.config.max_hits_per_seed:
+                    continue  # repetitive seed, uninformative
+                for hit in hits:
+                    self.stats.seed_hits += 1
+                    diagonal = hit - read_offset
+                    votes[(chrom, diagonal)] = votes.get((chrom, diagonal), 0) + 1
+        if not votes:
+            return []
+        ranked = sorted(votes.items(), key=lambda item: (-item[1], item[0]))
+        windows: List[Tuple[str, int, int]] = []
+        pad = self.config.window_padding
+        for (chrom, diagonal), _count in ranked[:3]:
+            contig_len = self.reference.length(chrom)
+            start = max(0, diagonal - pad)
+            end = min(contig_len, diagonal + len(seq) + pad)
+            if end > start:
+                windows.append((chrom, start, end))
+        return windows
+
+    def align_record(self, record: FastqRecord) -> Read:
+        """Align one read; returns an unmapped Read when no window scores."""
+        self.stats.reads_total += 1
+        best: Optional[Tuple[int, str, int, AlignmentResult]] = None
+        for chrom, start, end in self._candidate_windows(record.seq):
+            window = self.reference.fetch(chrom, start, end)
+            self.stats.extensions += 1
+            self.stats.dp_cells += len(window) * len(record.seq)
+            result = smith_waterman(record.seq, window, self.config.scoring)
+            if best is None or result.score > best[0]:
+                best = (result.score, chrom, start, result)
+        min_score = int(
+            self.config.min_score_fraction
+            * self.config.scoring.match
+            * len(record.seq)
+        )
+        if best is None or best[0] < min_score:
+            return Read(
+                name=record.name, chrom=None, pos=0, seq=record.seq,
+                quals=record.quals, cigar=None, mapq=0,
+            )
+        score, chrom, window_start, result = best
+        self.stats.reads_aligned += 1
+        cigar = alignment_to_read_cigar(result, len(record.seq))
+        perfect = self.config.scoring.match * len(record.seq)
+        mapq = int(np.clip(round(60 * score / perfect), 0, 60))
+        return Read(
+            name=record.name,
+            chrom=chrom,
+            pos=window_start + result.target_start,
+            seq=record.seq,
+            quals=record.quals,
+            cigar=cigar,
+            mapq=mapq,
+        )
+
+    def align(self, records) -> List[Read]:
+        """Align a batch of FASTQ records."""
+        return [self.align_record(record) for record in records]

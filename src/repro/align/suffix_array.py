@@ -1,0 +1,102 @@
+"""Suffix-array seed index.
+
+BWA-MEM's SMEM generation resolves exact-match seeds through an FM-index;
+we implement the equivalent lookup with a plain suffix array (the paper's
+Figure 2 stage is literally named "Suffix Array Lookup"). Construction is
+the prefix-doubling algorithm (O(n log n) with numpy radix-free sorting);
+lookup is binary search over suffixes, O(p log n) per pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.genomics.sequence import seq_to_array
+
+
+@dataclass
+class SuffixArray:
+    """Suffix array over a text, supporting exact-pattern interval lookup."""
+
+    text: str
+    suffixes: np.ndarray  # int32 positions, lexicographic suffix order
+
+    @classmethod
+    def build(cls, text: str) -> "SuffixArray":
+        """Construct via prefix doubling."""
+        if not text:
+            raise ValueError("cannot index an empty text")
+        data = seq_to_array(text).astype(np.int64)
+        n = data.size
+        # Dense initial ranks (0..n-1 range) from the raw byte values.
+        order = np.argsort(data, kind="stable")
+        sorted_data = data[order]
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.cumsum(
+            np.concatenate(([0], (sorted_data[1:] != sorted_data[:-1])
+                            .astype(np.int64)))
+        )
+        k = 1
+        while k < n:
+            # Composite key: (rank[i], rank[i + k]) with -1 past the end.
+            second = np.full(n, -1, dtype=np.int64)
+            second[: n - k] = rank[k:]
+            keys = rank * (n + 1) + (second + 1)
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            new_rank = np.empty(n, dtype=np.int64)
+            new_rank[order] = np.cumsum(
+                np.concatenate(([0], (sorted_keys[1:] != sorted_keys[:-1]).astype(np.int64)))
+            )
+            rank = new_rank
+            if int(rank.max()) == n - 1:
+                break
+            k *= 2
+        final_order = np.empty(n, dtype=np.int64)
+        final_order[rank] = np.arange(n)
+        return cls(text=text, suffixes=final_order.astype(np.int32))
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+    def _compare(self, suffix_index: int, pattern: str) -> int:
+        """Three-way compare of suffix ``suffix_index`` vs ``pattern`` prefix."""
+        start = int(self.suffixes[suffix_index])
+        chunk = self.text[start : start + len(pattern)]
+        if chunk < pattern:
+            return -1
+        if chunk.startswith(pattern):
+            return 0
+        return 1
+
+    def find(self, pattern: str) -> List[int]:
+        """Return all (unsorted-text) positions where ``pattern`` occurs."""
+        if not pattern:
+            raise ValueError("empty pattern")
+        n = len(self.suffixes)
+        # Lower bound: first suffix >= pattern.
+        lo, hi = 0, n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._compare(mid, pattern) < 0:
+                lo = mid + 1
+            else:
+                hi = mid
+        first = lo
+        # Upper bound: first suffix with prefix > pattern.
+        lo, hi = first, n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._compare(mid, pattern) <= 0:
+                lo = mid + 1
+            else:
+                hi = mid
+        positions = self.suffixes[first:lo]
+        return sorted(int(p) for p in positions)
+
+    def count(self, pattern: str) -> int:
+        """Return the number of occurrences of ``pattern``."""
+        return len(self.find(pattern))

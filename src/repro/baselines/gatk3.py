@@ -1,0 +1,50 @@
+"""The GATK3 baseline: functional realignment + calibrated timing.
+
+Functionally this *is* :class:`repro.realign.IndelRealigner` -- the
+paper's Algorithms 1 and 2 are GATK3's IndelRealigner algorithm -- and
+its runtime over a site list comes from the calibrated throughput model
+(:class:`repro.perf.model.Gatk3PerformanceModel`), since GATK3 performs
+the full unpruned Algorithm 1 scan on general-purpose cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.genomics.read import Read
+from repro.genomics.reference import ReferenceGenome
+from repro.perf.model import GATK3_MAX_THREADS, Gatk3PerformanceModel
+from repro.realign.realigner import IndelRealigner, RealignerReport
+from repro.realign.site import RealignmentSite
+
+
+@dataclass
+class Gatk3Baseline:
+    """Multi-threaded GATK3 IndelRealigner, as deployed on r3.2xlarge."""
+
+    model: Optional[Gatk3PerformanceModel] = None
+    threads: int = GATK3_MAX_THREADS
+
+    def __post_init__(self) -> None:
+        if self.model is None:
+            self.model = Gatk3PerformanceModel.calibrated()
+
+    def seconds_for_sites(self, sites: Sequence[RealignmentSite]) -> float:
+        """Modelled runtime over explicit sites (the bench-scale path)."""
+        work = sum(site.unpruned_comparisons() for site in sites)
+        return self.model.seconds_for_comparisons(work, self.threads)
+
+    def realign(
+        self, reads: Sequence[Read], reference: ReferenceGenome
+    ) -> Tuple[List[Read], RealignerReport, float]:
+        """Functionally realign ``reads`` and model the GATK3 runtime.
+
+        Returns ``(updated_reads, report, modelled_seconds)``.
+        """
+        realigner = IndelRealigner(reference)
+        updated, report = realigner.realign(reads)
+        seconds = self.model.seconds_for_comparisons(
+            report.unpruned_comparisons, self.threads
+        )
+        return updated, report, seconds

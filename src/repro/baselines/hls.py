@@ -1,0 +1,36 @@
+"""The HLS (SDAccel/OpenCL) comparison build.
+
+"We implemented a version of the accelerators using the SDAccel
+Development flow ... However, we were only able to get a modest speedup
+of 1.3x-3.1x over GATK3 because of limitations on the HLS
+infrastructure. Xilinx OpenCL has a hard limit of 16 on the number of
+compute units that can be scheduled asynchronously, limiting task
+parallelism. HLS had difficulties extracting coarse-grained parallelism
+from the kernel automatically due to ambiguous memory dependencies and
+aliasing present in the algorithm."
+
+We model the HLS build with exactly those two documented limitations
+applied to the same simulator: at most 16 asynchronously scheduled
+units, and a scalar (1 base/cycle) datapath because the tool could not
+extract the 32-wide inner parallelism.
+"""
+
+from __future__ import annotations
+
+from repro.core.system import SystemConfig
+
+#: Xilinx OpenCL's hard limit on asynchronously schedulable compute units.
+OPENCL_MAX_COMPUTE_UNITS = 16
+
+#: Paper-reported HLS speedup range over GATK3.
+PAPER_HLS_SPEEDUP_RANGE = (1.3, 3.1)
+
+
+def hls_system_config() -> SystemConfig:
+    """The HLS build as a system design point."""
+    return SystemConfig(
+        name="HLS-SDAccel",
+        num_units=OPENCL_MAX_COMPUTE_UNITS,
+        lanes=1,  # no automatically extracted inner-loop parallelism
+        scheduling="async",
+    )

@@ -1,0 +1,71 @@
+"""The paper's contribution: the INDEL realignment accelerator system.
+
+- :mod:`repro.core.isa` -- the five RoCC-format accelerator instructions
+  of Table I.
+- :mod:`repro.core.buffers` -- block-indexed, byte-selected input/output
+  buffer models (the unit's BRAM-backed local memories).
+- :mod:`repro.core.hdc` -- the Hamming Distance Calculator stage: scalar
+  (1 base/cycle) and data-parallel (32 bases/cycle) variants, with
+  computation pruning.
+- :mod:`repro.core.selector` -- the Consensus Selector stage.
+- :mod:`repro.core.accelerator` -- one IR unit (the two stages composed),
+  in bit-identical cycle-stepped and vectorized-analytic modes.
+- :mod:`repro.core.router` -- the RoCC command router.
+- :mod:`repro.core.scheduler` -- synchronous-parallel and
+  asynchronous-parallel target scheduling (Figure 7).
+- :mod:`repro.core.host` -- the host-side control program model.
+- :mod:`repro.core.system` -- the deployed system: a sea of 32 IR units
+  on an F1 instance, end to end.
+"""
+
+from repro.core.isa import (
+    BufferId,
+    IrFunct,
+    RoccCommand,
+    decode_instruction,
+    encode_instruction,
+    ir_set_addr,
+    ir_set_len,
+    ir_set_size,
+    ir_set_target,
+    ir_start,
+    target_command_stream,
+)
+from repro.core.hdc import HammingDistanceCalculator, PairComputation
+from repro.core.selector import ConsensusSelector, SelectorComputation
+from repro.core.accelerator import IRUnit, UnitConfig, UnitRunResult
+from repro.core.scheduler import (
+    ScheduledTarget,
+    ScheduleResult,
+    schedule_async,
+    schedule_sync,
+)
+from repro.core.system import AcceleratedIRSystem, SystemConfig, SystemRunResult
+
+__all__ = [
+    "AcceleratedIRSystem",
+    "BufferId",
+    "ConsensusSelector",
+    "HammingDistanceCalculator",
+    "IRUnit",
+    "IrFunct",
+    "PairComputation",
+    "RoccCommand",
+    "ScheduleResult",
+    "ScheduledTarget",
+    "SelectorComputation",
+    "SystemConfig",
+    "SystemRunResult",
+    "UnitConfig",
+    "UnitRunResult",
+    "decode_instruction",
+    "encode_instruction",
+    "ir_set_addr",
+    "ir_set_len",
+    "ir_set_size",
+    "ir_set_target",
+    "ir_start",
+    "schedule_async",
+    "schedule_sync",
+    "target_command_stream",
+]

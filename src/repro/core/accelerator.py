@@ -1,0 +1,235 @@
+"""One INDEL realignment accelerator unit.
+
+The unit is the two-stage pipeline of Figure 5: a Hamming Distance
+Calculator feeding a Consensus Selector, wrapped by five memory channels
+(three MemReaders filling the consensus/read/quality input buffers, two
+MemWriters draining the realign-flag and new-position output buffers)
+and a command FSM driven by the RoCC instructions of Table I.
+
+Two execution modes produce **identical** outputs and cycle counts:
+
+- ``stepped`` -- loads the BRAM buffer models byte-for-byte, steps the
+  scalar/parallel datapath cycle by cycle, and writes results through
+  the output buffers. Used by tests and small examples.
+- ``analytic`` -- numpy closed form of the same computation. Used at
+  workload scale by the benchmarks.
+
+Cycle accounting (all at the unit clock):
+
+- ``config``: one decode cycle per RoCC command (8 + C commands/target);
+- ``fill``: one cycle per 32-byte block streamed from FPGA DRAM into
+  the input buffers over the 256-bit TileLink channel, plus one
+  address-setup cycle per record;
+- ``compute``: HDC cycles summed over all (consensus, read) pairs;
+- ``selector``: Consensus Selector cycles;
+- ``writeback``: output-buffer drain beats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.buffers import BLOCK_BYTES, make_unit_buffers
+from repro.core.hdc import HammingDistanceCalculator
+from repro.core.isa import commands_per_target
+from repro.core.selector import ConsensusSelector
+from repro.realign.site import RealignmentSite, SiteLimits, PAPER_LIMITS
+from repro.realign.whd import SiteResult
+from repro.genomics.sequence import seq_to_array
+
+#: Address-setup cost per record streamed into a buffer slot.
+RECORD_SETUP_CYCLES = 1
+
+#: Decode cost per RoCC configuration command.
+CONFIG_CYCLES_PER_COMMAND = 1
+
+
+def _beats(num_bytes: int) -> int:
+    return -(-num_bytes // BLOCK_BYTES)
+
+
+@dataclass(frozen=True)
+class UnitConfig:
+    """Microarchitectural configuration of one IR unit."""
+
+    lanes: int = 32  # data-parallel width (1 = the scalar TaskP datapath)
+    prune: bool = True  # computation pruning on/off (ablation knob)
+    scoring: str = "similarity"  # consensus-score semantics (see whd module)
+    limits: SiteLimits = PAPER_LIMITS
+
+    def __post_init__(self) -> None:
+        if self.lanes <= 0:
+            raise ValueError("lane count must be positive")
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Where one target's unit-cycles went."""
+
+    config: int
+    fill: int
+    compute: int
+    selector: int
+    writeback: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.config + self.fill + self.compute
+            + self.selector + self.writeback
+        )
+
+
+@dataclass(frozen=True)
+class UnitRunResult:
+    """Functional outputs + costs of one target on one unit."""
+
+    best_cons: int
+    realign: np.ndarray  # (R,) bool
+    new_pos: np.ndarray  # (R,) int64, -1 where not realigned
+    cycles: CycleBreakdown
+    comparisons: int
+    unpruned_comparisons: int
+
+    @property
+    def pruned_fraction(self) -> float:
+        if self.unpruned_comparisons == 0:
+            return 0.0
+        return 1.0 - self.comparisons / self.unpruned_comparisons
+
+    def matches(self, reference: SiteResult) -> bool:
+        """Bit-equality with the software realigner's outputs."""
+        return (
+            self.best_cons == reference.best_cons
+            and bool(np.array_equal(self.realign, reference.realign))
+            and bool(np.array_equal(self.new_pos, reference.new_pos))
+        )
+
+
+class IRUnit:
+    """One INDEL realignment accelerator unit."""
+
+    def __init__(self, config: UnitConfig = UnitConfig(), unit_id: int = 0):
+        self.config = config
+        self.unit_id = unit_id
+        self.hdc = HammingDistanceCalculator(
+            lanes=config.lanes, prune=config.prune
+        )
+        self.selector = ConsensusSelector(scoring=config.scoring)
+
+    # -- cost helpers ---------------------------------------------------
+    def _config_cycles(self, site: RealignmentSite) -> int:
+        return commands_per_target(site.num_consensuses) * CONFIG_CYCLES_PER_COMMAND
+
+    def _fill_cycles(self, site: RealignmentSite) -> int:
+        records = site.num_consensuses + 2 * site.num_reads
+        beats = sum(_beats(len(c)) for c in site.consensuses)
+        beats += 2 * sum(_beats(len(r)) for r in site.reads)
+        return beats + records * RECORD_SETUP_CYCLES
+
+    def _writeback_cycles(self, site: RealignmentSite) -> int:
+        return _beats(site.num_reads) + _beats(4 * site.num_reads)
+
+    # -- execution ------------------------------------------------------
+    def run_site(self, site: RealignmentSite, mode: str = "analytic"
+                 ) -> UnitRunResult:
+        """Process one IR target end to end."""
+        if mode == "analytic":
+            return self._run_analytic(site)
+        if mode == "stepped":
+            return self._run_stepped(site)
+        raise ValueError(f"unknown mode {mode!r} (use 'analytic' or 'stepped')")
+
+    def _run_analytic(self, site: RealignmentSite) -> UnitRunResult:
+        cons_arrays = site.consensus_arrays()
+        read_arrays = site.read_arrays()
+        C, R = site.num_consensuses, site.num_reads
+        min_whd = np.empty((C, R), dtype=np.int64)
+        min_idx = np.empty((C, R), dtype=np.int64)
+        hdc_cycles = 0
+        comparisons = 0
+        unpruned = 0
+        for i, cons_arr in enumerate(cons_arrays):
+            for j, read_arr in enumerate(read_arrays):
+                pair = self.hdc.compute_pair(cons_arr, read_arr, site.quals[j])
+                min_whd[i, j] = pair.min_whd
+                min_idx[i, j] = pair.min_whd_idx
+                hdc_cycles += pair.cycles
+                comparisons += pair.comparisons
+                unpruned += pair.unpruned_comparisons
+        return self._finish(site, min_whd, min_idx, hdc_cycles,
+                            comparisons, unpruned)
+
+    def _run_stepped(self, site: RealignmentSite) -> UnitRunResult:
+        buffers = make_unit_buffers(self.config.limits)
+        for i, cons in enumerate(site.consensuses):
+            buffers["consensus"].load_slot(i, seq_to_array(cons))
+        for j, read in enumerate(site.reads):
+            buffers["read_bases"].load_slot(j, seq_to_array(read))
+            buffers["read_quals"].load_slot(j, np.asarray(site.quals[j]))
+
+        C, R = site.num_consensuses, site.num_reads
+        min_whd = np.empty((C, R), dtype=np.int64)
+        min_idx = np.empty((C, R), dtype=np.int64)
+        hdc_cycles = 0
+        comparisons = 0
+        unpruned = 0
+        for i in range(C):
+            cons_len = buffers["consensus"].slot_length(i)
+            cons_arr = np.array(
+                [buffers["consensus"].read_byte(i, t) for t in range(cons_len)],
+                dtype=np.uint8,
+            )
+            for j in range(R):
+                read_len = buffers["read_bases"].slot_length(j)
+                read_arr = np.array(
+                    [buffers["read_bases"].read_byte(j, t) for t in range(read_len)],
+                    dtype=np.uint8,
+                )
+                quals_arr = np.array(
+                    [buffers["read_quals"].read_byte(j, t) for t in range(read_len)],
+                    dtype=np.uint8,
+                )
+                pair = self.hdc.compute_pair_stepped(cons_arr, read_arr, quals_arr)
+                min_whd[i, j] = pair.min_whd
+                min_idx[i, j] = pair.min_whd_idx
+                hdc_cycles += pair.cycles
+                comparisons += pair.comparisons
+                unpruned += pair.unpruned_comparisons
+
+        result = self._finish(site, min_whd, min_idx, hdc_cycles,
+                              comparisons, unpruned)
+        # Drive the output buffers exactly as the MemWriters would.
+        for j in range(R):
+            buffers["out_realign"].write(j, int(result.realign[j]))
+            if result.realign[j]:
+                buffers["out_positions"].write(j, int(result.new_pos[j]))
+        return result
+
+    def _finish(
+        self,
+        site: RealignmentSite,
+        min_whd: np.ndarray,
+        min_idx: np.ndarray,
+        hdc_cycles: int,
+        comparisons: int,
+        unpruned: int,
+    ) -> UnitRunResult:
+        selection = self.selector.run(min_whd, min_idx, site.start)
+        cycles = CycleBreakdown(
+            config=self._config_cycles(site),
+            fill=self._fill_cycles(site),
+            compute=hdc_cycles,
+            selector=selection.cycles,
+            writeback=self._writeback_cycles(site),
+        )
+        return UnitRunResult(
+            best_cons=selection.best_cons,
+            realign=selection.realign,
+            new_pos=selection.new_pos,
+            cycles=cycles,
+            comparisons=comparisons,
+            unpruned_comparisons=unpruned,
+        )

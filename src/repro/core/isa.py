@@ -1,0 +1,218 @@
+"""The IR accelerator instruction set (paper Table I).
+
+Five commands manage the realigner, carried in the RoCC (Rocket chip
+Custom Coprocessor) fixed-length instruction format:
+
+=========  =======  =======  ====  ====  ====  ====  ========
+bits       [31:25]  [24:20]  [19:15]     [14]  [13]  [12]  [11:7]  [6:0]
+field      function rs2      rs1         xd    xs1   xs2   dest    opcode
+=========  =======  =======  ====  ====  ====  ====  ========
+
+"The opcode field is used to encode different accelerator types. Since
+the accelerated IR system only contains the IR accelerator, the opcode
+field is essentially not used. The function field is used to encode
+different accelerator configurations for a given accelerator type."
+
+The five commands:
+
+- ``ir_set_addr <buffer index> <mem addr>`` -- five times per target
+  (3 input + 2 output buffer base addresses in FPGA DRAM).
+- ``ir_set_target <target addr>`` -- once per target (the target's
+  starting reference position, used to compute final read positions).
+- ``ir_set_size <# consensuses> <# reads>`` -- once per target.
+- ``ir_set_len <consensus id> <consensus length>`` -- up to 32 times per
+  target; lets the unit stop each sliding comparison at the consensus
+  end.
+- ``ir_start <unit id>`` -- kick off the configured unit.
+
+Modelling note: the deployed system routes every command to a specific
+unit; we carry the destination unit in the instruction's ``dest`` field
+(unused by the configuration commands otherwise) so the command router
+can dispatch, and tests can round-trip the encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import List
+
+from repro.realign.site import RealignmentSite
+
+#: Custom-0 opcode, the RoCC convention for the first accelerator slot.
+IR_OPCODE = 0b0001011
+
+_MASK5 = 0x1F
+_MASK7 = 0x7F
+
+
+class IrFunct(IntEnum):
+    """Values of the RoCC ``function`` field for the five IR commands."""
+
+    SET_ADDR = 0
+    SET_TARGET = 1
+    SET_SIZE = 2
+    SET_LEN = 3
+    START = 4
+
+
+class BufferId(IntEnum):
+    """Buffer indices accepted by ``ir_set_addr`` (Figure 6 buffers)."""
+
+    CONSENSUS_BASES = 0  # input buffer #1: 32 x 2048 B
+    READ_BASES = 1  # input buffer #2: 256 x 256 B
+    READ_QUALS = 2  # input buffer #3: 256 x 256 B
+    OUT_REALIGN = 3  # output buffer #1: 256 x 1 B
+    OUT_POSITIONS = 4  # output buffer #2: 256 x 4 B
+
+
+class IsaError(ValueError):
+    """Raised for malformed commands or instruction words."""
+
+
+@dataclass(frozen=True)
+class RoccCommand:
+    """One decoded RoCC command plus its register operand *values*.
+
+    In the real system ``rs1``/``rs2`` name integer registers and the
+    operand values travel on the RoCC command bus; the model carries the
+    values directly (``rs1_value``, ``rs2_value``) alongside the encoded
+    instruction word fields.
+    """
+
+    funct: IrFunct
+    unit_id: int
+    rs1_value: int = 0
+    rs2_value: int = 0
+    xs1: bool = False
+    xs2: bool = False
+    xd: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.unit_id <= _MASK5:
+            raise IsaError(f"unit id {self.unit_id} outside 5-bit dest field")
+        if self.rs1_value < 0 or self.rs2_value < 0:
+            raise IsaError("operand values must be non-negative")
+
+
+def encode_instruction(command: RoccCommand) -> int:
+    """Pack a command into the 32-bit RoCC instruction word.
+
+    Register specifiers are modelled as x10/x11 (the RISC-V argument
+    registers) when the corresponding operand is live.
+    """
+    rs1_spec = 10 if command.xs1 else 0
+    rs2_spec = 11 if command.xs2 else 0
+    word = IR_OPCODE
+    word |= (command.unit_id & _MASK5) << 7
+    word |= (1 if command.xs2 else 0) << 12
+    word |= (1 if command.xs1 else 0) << 13
+    word |= (1 if command.xd else 0) << 14
+    word |= (rs1_spec & _MASK5) << 15
+    word |= (rs2_spec & _MASK5) << 20
+    word |= (int(command.funct) & _MASK7) << 25
+    return word
+
+
+def decode_instruction(word: int, rs1_value: int = 0, rs2_value: int = 0
+                       ) -> RoccCommand:
+    """Unpack a 32-bit RoCC instruction word (plus operand bus values)."""
+    if word < 0 or word > 0xFFFFFFFF:
+        raise IsaError(f"instruction word {word:#x} is not 32-bit")
+    if word & _MASK7 != IR_OPCODE:
+        raise IsaError(f"not an IR opcode: {word & _MASK7:#09b}")
+    funct_bits = (word >> 25) & _MASK7
+    try:
+        funct = IrFunct(funct_bits)
+    except ValueError:
+        raise IsaError(f"unknown IR function {funct_bits}") from None
+    return RoccCommand(
+        funct=funct,
+        unit_id=(word >> 7) & _MASK5,
+        rs1_value=rs1_value,
+        rs2_value=rs2_value,
+        xs1=bool((word >> 13) & 1),
+        xs2=bool((word >> 12) & 1),
+        xd=bool((word >> 14) & 1),
+    )
+
+
+def ir_set_addr(unit_id: int, buffer_id: BufferId, mem_addr: int) -> RoccCommand:
+    """Set buffer ``buffer_id``'s DRAM base address."""
+    if mem_addr < 0:
+        raise IsaError("memory address must be non-negative")
+    return RoccCommand(
+        funct=IrFunct.SET_ADDR, unit_id=unit_id,
+        rs1_value=int(buffer_id), rs2_value=mem_addr, xs1=True, xs2=True,
+    )
+
+
+def ir_set_target(unit_id: int, target_addr: int) -> RoccCommand:
+    """Set the target's starting reference position."""
+    if target_addr < 0:
+        raise IsaError("target address must be non-negative")
+    return RoccCommand(
+        funct=IrFunct.SET_TARGET, unit_id=unit_id,
+        rs1_value=target_addr, xs1=True,
+    )
+
+
+def ir_set_size(unit_id: int, num_consensuses: int, num_reads: int) -> RoccCommand:
+    """Set the consensus and read counts of the current target."""
+    if num_consensuses <= 0 or num_reads <= 0:
+        raise IsaError("sizes must be positive")
+    return RoccCommand(
+        funct=IrFunct.SET_SIZE, unit_id=unit_id,
+        rs1_value=num_consensuses, rs2_value=num_reads, xs1=True, xs2=True,
+    )
+
+
+def ir_set_len(unit_id: int, consensus_id: int, length: int) -> RoccCommand:
+    """Set one consensus's length in bytes."""
+    if consensus_id < 0 or length <= 0:
+        raise IsaError("consensus id must be >= 0 and length positive")
+    return RoccCommand(
+        funct=IrFunct.SET_LEN, unit_id=unit_id,
+        rs1_value=consensus_id, rs2_value=length, xs1=True, xs2=True,
+    )
+
+
+def ir_start(unit_id: int) -> RoccCommand:
+    """Start the configured unit; completion arrives as a RoCC response."""
+    return RoccCommand(
+        funct=IrFunct.START, unit_id=unit_id, rs1_value=unit_id,
+        xs1=True, xd=True,
+    )
+
+
+def target_command_stream(
+    unit_id: int,
+    site: RealignmentSite,
+    buffer_addrs,
+) -> List[RoccCommand]:
+    """The full per-target configuration sequence the host issues.
+
+    "ir_set_addr is invoked five times per target ... ir_set_target is
+    invoked once per target ... ir_set_len is invoked as many as 32
+    times per target, depending on how many consensuses there are."
+    ``buffer_addrs`` maps :class:`BufferId` to DRAM base addresses.
+    """
+    commands = [
+        ir_set_addr(unit_id, buffer_id, buffer_addrs[buffer_id])
+        for buffer_id in BufferId
+    ]
+    commands.append(ir_set_target(unit_id, site.start))
+    commands.append(ir_set_size(unit_id, site.num_consensuses, site.num_reads))
+    commands.extend(
+        ir_set_len(unit_id, cons_id, len(cons))
+        for cons_id, cons in enumerate(site.consensuses)
+    )
+    commands.append(ir_start(unit_id))
+    return commands
+
+
+def commands_per_target(num_consensuses: int) -> int:
+    """Command count for one target: 5 addr + target + size + C lens + start."""
+    if num_consensuses <= 0:
+        raise IsaError("a target has at least the reference consensus")
+    return 5 + 1 + 1 + num_consensuses + 1

@@ -1,0 +1,98 @@
+"""The Consensus Selector stage (Figure 5 right).
+
+Runs once per (consensus, read) pair -- far less often than the HDC --
+so its three read-length buffers (REF, CURR consensus, and running MIN
+consensus distances+offsets) "only support one read or one write per
+cycle (one read/write port)".
+
+Functionally it is Algorithm 2: accumulate ``|CURR dist - REF dist|``
+across reads into the consensus score, keep the running best consensus,
+and finally emit the realign decision and new position per read.
+
+Cycle model (single-ported buffers):
+
+- while scoring consensus ``i``: per read, one cycle to read the REF
+  entry and one to read/update the CURR entry -> 2 cycles per read per
+  alternate consensus, plus one cycle to resolve the MIN-consensus swap;
+- final realignment pass: per read, one read of MIN and REF plus one
+  output write -> 3 cycles per read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.realign.whd import reads_realignments, score_and_select
+
+#: Buffer-port cycles per read while scoring one alternate consensus.
+SCORE_CYCLES_PER_READ = 2
+
+#: Cycles to commit/swap the running-minimum consensus after scoring.
+SWAP_OVERHEAD_CYCLES = 1
+
+#: Cycles per read in the final realignment/output pass.
+REALIGN_CYCLES_PER_READ = 3
+
+
+@dataclass(frozen=True)
+class SelectorComputation:
+    """Selector outputs and cycle cost for one site."""
+
+    best_cons: int
+    scores: np.ndarray
+    realign: np.ndarray
+    new_pos: np.ndarray
+    cycles: int
+
+
+class ConsensusSelector:
+    """The second pipeline stage of the IR unit.
+
+    ``scoring`` selects the consensus-score semantics (see
+    :func:`repro.realign.whd.score_and_select`); both variants use the
+    same Figure 5 datapath and cycle cost.
+    """
+
+    def __init__(self, scoring: str = "similarity"):
+        self.scoring = scoring
+
+    def run(
+        self,
+        min_whd: np.ndarray,
+        min_whd_idx: np.ndarray,
+        target_start: int,
+    ) -> SelectorComputation:
+        """Score consensuses and produce realignment decisions.
+
+        ``min_whd``/``min_whd_idx`` are the ``(C, R)`` grids streamed in
+        from the HDC stage.
+        """
+        if min_whd.shape != min_whd_idx.shape or min_whd.ndim != 2:
+            raise ValueError("min_whd and min_whd_idx must be equal 2-D grids")
+        num_consensuses, num_reads = min_whd.shape
+        best_cons, scores = score_and_select(min_whd, method=self.scoring)
+        realign, new_pos = reads_realignments(
+            min_whd, min_whd_idx, best_cons, target_start
+        )
+        scoring_cycles = (num_consensuses - 1) * (
+            num_reads * SCORE_CYCLES_PER_READ + SWAP_OVERHEAD_CYCLES
+        )
+        output_cycles = num_reads * REALIGN_CYCLES_PER_READ
+        return SelectorComputation(
+            best_cons=best_cons,
+            scores=scores,
+            realign=realign,
+            new_pos=new_pos,
+            cycles=scoring_cycles + output_cycles,
+        )
+
+    @staticmethod
+    def cycles(num_consensuses: int, num_reads: int) -> int:
+        """Closed-form cycle cost without running the selection."""
+        if num_consensuses <= 0 or num_reads <= 0:
+            raise ValueError("grid dimensions must be positive")
+        return (num_consensuses - 1) * (
+            num_reads * SCORE_CYCLES_PER_READ + SWAP_OVERHEAD_CYCLES
+        ) + num_reads * REALIGN_CYCLES_PER_READ

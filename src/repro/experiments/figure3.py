@@ -1,0 +1,66 @@
+"""Figure 3: INDEL realignment's share of refinement time, per chromosome.
+
+"Ranging from 53% to 67%, alignment refinement spends an average of 58%
+of its execution time in INDEL realignments."
+
+The per-chromosome fractions derive from the census and shape profile
+(IR work) against read-count-proportional other-stage work, with the
+single non-IR cost constant calibrated to the 58% genome-wide average
+(see :mod:`repro.perf.pipelines`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.reporting import banner, format_table
+from repro.perf.pipelines import (
+    PAPER_IR_FRACTION_AVG,
+    PAPER_IR_FRACTION_RANGE,
+    RefinementBreakdown,
+    average_ir_fraction,
+    refinement_breakdown,
+)
+
+
+@dataclass
+class Figure3Result:
+    rows: List[RefinementBreakdown]
+
+    @property
+    def average(self) -> float:
+        return average_ir_fraction(self.rows)
+
+    @property
+    def minimum(self) -> float:
+        return min(row.ir_fraction for row in self.rows)
+
+    @property
+    def maximum(self) -> float:
+        return max(row.ir_fraction for row in self.rows)
+
+
+def run() -> Figure3Result:
+    return Figure3Result(rows=refinement_breakdown())
+
+
+def main() -> Figure3Result:
+    outcome = run()
+    print(banner("Figure 3: IR share of refinement time per chromosome"))
+    print(format_table(
+        ["chromosome", "IR hours", "other hours", "IR fraction"],
+        [[row.chromosome, f"{row.ir_seconds / 3600:.1f}",
+          f"{row.other_seconds / 3600:.1f}", f"{row.ir_fraction:.1%}"]
+         for row in outcome.rows],
+    ))
+    lo, hi = PAPER_IR_FRACTION_RANGE
+    print(f"\nmeasured: avg {outcome.average:.1%}, "
+          f"range {outcome.minimum:.1%}-{outcome.maximum:.1%}")
+    print(f"paper:    avg {PAPER_IR_FRACTION_AVG:.0%}, "
+          f"range {lo:.0%}-{hi:.0%}")
+    return outcome
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,231 @@
+"""Figure 9: speedups over GATK3 (left) and dollars to run (right).
+
+Left: "our FPGA-accelerated INDEL realignment system deployed with 32 IR
+accelerators (IRAcc-TaskP), asynchronous-parallel scheme
+(IRAcc-TaskP-Async), and additional data parallelism (IR ACC) achieved a
+remarkable speedup of 66.7x-115.4x over software running 8 threads"
+(gmean 81.3x); by design point, TaskP alone is "0.7x-1.3x better than
+GATK3", async adds "an average of 6.2x", data parallelism "another 15x".
+
+Right: "GATK3 and ADAM take $28 and $14.5 to run on R3 instances
+respectively" while IR ACC "can complete INDEL realignment for all
+chromosomes for just 90 cents" -- 32x / 17x more cost efficient.
+
+Workloads are the scaled per-chromosome censuses; schedules use
+replication to reach the steady state of the paper's 48k-320k-target
+chromosome runs (see :meth:`repro.core.system.AcceleratedIRSystem.run`).
+The simpler design points (TaskP, TaskP-Async, HLS) run on a
+representative chromosome subset; the headline IR ACC runs on all 22.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.adam import AdamBaseline
+from repro.baselines.gatk3 import Gatk3Baseline
+from repro.baselines.hls import hls_system_config
+from repro.core.system import AcceleratedIRSystem, SystemConfig
+from repro.experiments.reporting import banner, format_table
+from repro.perf.cost import CostReport, cost_of_run
+from repro.perf.instances import F1_2XLARGE, R3_2XLARGE
+from repro.perf.model import GATK3_WHOLE_GENOME_SECONDS
+from repro.workloads.chromosomes import CHROMOSOME_CENSUS
+from repro.workloads.generator import BENCH_PROFILE, chromosome_workload
+
+#: Paper results asserted against.
+PAPER_IRACC_RANGE = (66.7, 115.4)
+PAPER_IRACC_GMEAN = 81.3
+PAPER_TASKP_RANGE = (0.7, 1.3)
+PAPER_ASYNC_GAIN = 6.2
+PAPER_DATAP_GAIN = 15.0
+PAPER_COST = {"GATK3": 28.0, "ADAM": 14.5, "IR ACC": 0.90}
+
+#: Chromosomes on which the non-headline design points are also run.
+DESIGN_SUBSET = ("2", "9", "21")
+
+
+@dataclass
+class ChromosomeResult:
+    chromosome: str
+    num_sites: int
+    gatk3_seconds: float
+    adam_seconds: float
+    design_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def speedup(self, design: str) -> float:
+        return self.gatk3_seconds / self.design_seconds[design]
+
+    @property
+    def iracc_speedup(self) -> float:
+        return self.speedup("IR ACC")
+
+    @property
+    def adam_speedup(self) -> float:
+        """IR ACC speedup over ADAM."""
+        return self.adam_seconds / self.design_seconds["IR ACC"]
+
+
+@dataclass
+class Figure9Result:
+    rows: List[ChromosomeResult]
+    costs: Dict[str, CostReport]
+
+    @property
+    def iracc_speedups(self) -> List[float]:
+        return [row.iracc_speedup for row in self.rows]
+
+    @property
+    def gmean_speedup(self) -> float:
+        return float(np.exp(np.mean(np.log(self.iracc_speedups))))
+
+    @property
+    def speedup_range(self) -> Tuple[float, float]:
+        values = self.iracc_speedups
+        return (min(values), max(values))
+
+    def design_gmean(self, design: str) -> float:
+        values = [
+            row.speedup(design) for row in self.rows
+            if design in row.design_seconds
+        ]
+        return float(np.exp(np.mean(np.log(values)))) if values else float("nan")
+
+
+def _designs_for(chromosome: str, subset: Sequence[str]) -> List[SystemConfig]:
+    designs = [SystemConfig.iracc()]
+    if chromosome in subset:
+        designs.extend([
+            SystemConfig.taskp(),
+            SystemConfig.taskp_async(),
+            hls_system_config(),
+        ])
+    return designs
+
+
+def run(
+    sites_per_chromosome: int = 96,
+    replication: int = 24,
+    seed: int = 42,
+    chromosomes: Optional[Sequence[str]] = None,
+    design_subset: Sequence[str] = DESIGN_SUBSET,
+) -> Figure9Result:
+    """Run the Figure 9 evaluation at bench scale."""
+    gatk3 = Gatk3Baseline()
+    adam = AdamBaseline(gatk3_model=gatk3.model)
+    wanted = set(chromosomes) if chromosomes is not None else None
+    rows: List[ChromosomeResult] = []
+    for census in CHROMOSOME_CENSUS:
+        if wanted is not None and census.name not in wanted:
+            continue
+        sites = chromosome_workload(
+            census, sites_per_chromosome / census.ir_targets,
+            BENCH_PROFILE, seed=seed,
+        )
+        row = ChromosomeResult(
+            chromosome=census.name,
+            num_sites=len(sites) * replication,
+            gatk3_seconds=gatk3.seconds_for_sites(sites) * replication,
+            adam_seconds=adam.seconds_for_sites(sites) * replication,
+        )
+        for config in _designs_for(census.name, design_subset):
+            result = AcceleratedIRSystem(config).run(
+                sites, replication=replication
+            )
+            row.design_seconds[config.name] = result.total_seconds
+        rows.append(row)
+    result = Figure9Result(rows=rows, costs={})
+    result.costs = _full_scale_costs(result)
+    return result
+
+
+def _full_scale_costs(result: Figure9Result) -> Dict[str, CostReport]:
+    """Figure 9-right: whole-genome dollars, full-scale extrapolation.
+
+    GATK3's absolute runtime is the calibration anchor (42.1 h); ADAM
+    and IR ACC extrapolate from their measured relative speedups.
+    """
+    gatk3_seconds = GATK3_WHOLE_GENOME_SECONDS
+    adam_gain = AdamBaseline().speedup_over_gatk3
+    return {
+        "GATK3": cost_of_run("GATK3", R3_2XLARGE, gatk3_seconds),
+        "ADAM": cost_of_run("ADAM", R3_2XLARGE, gatk3_seconds / adam_gain),
+        "IR ACC": cost_of_run(
+            "IR ACC", F1_2XLARGE, gatk3_seconds / result.gmean_speedup
+        ),
+    }
+
+
+def main(sites_per_chromosome: int = 96, replication: int = 24
+         ) -> Figure9Result:
+    outcome = run(sites_per_chromosome, replication)
+    print(banner("Figure 9 (left): speedup over 8-thread GATK3"))
+    table_rows = []
+    for row in outcome.rows:
+        cells = [row.chromosome, row.num_sites,
+                 f"{row.iracc_speedup:.1f}x", f"{row.adam_speedup:.1f}x"]
+        for design in ("IRAcc-TaskP", "IRAcc-TaskP-Async", "HLS-SDAccel"):
+            cells.append(
+                f"{row.speedup(design):.2f}x"
+                if design in row.design_seconds else "-"
+            )
+        table_rows.append(cells)
+    print(format_table(
+        ["chrom", "targets", "IR ACC", "vs ADAM", "TaskP", "TaskP-Async",
+         "HLS"],
+        table_rows,
+    ))
+    lo, hi = outcome.speedup_range
+    print(f"\nIR ACC gmean {outcome.gmean_speedup:.1f}x, range "
+          f"{lo:.1f}x-{hi:.1f}x  "
+          f"(paper: gmean {PAPER_IRACC_GMEAN}x, range "
+          f"{PAPER_IRACC_RANGE[0]}x-{PAPER_IRACC_RANGE[1]}x)")
+    taskp = outcome.design_gmean("IRAcc-TaskP")
+    async_ = outcome.design_gmean("IRAcc-TaskP-Async")
+    iracc_subset = float(np.exp(np.mean([
+        np.log(row.iracc_speedup) for row in outcome.rows
+        if "IRAcc-TaskP" in row.design_seconds
+    ])))
+    print(f"TaskP {taskp:.2f}x (paper {PAPER_TASKP_RANGE[0]}-"
+          f"{PAPER_TASKP_RANGE[1]}x); async gain {async_ / taskp:.1f}x "
+          f"(paper ~{PAPER_ASYNC_GAIN}x); data-parallel gain "
+          f"{iracc_subset / async_:.1f}x (paper ~{PAPER_DATAP_GAIN:.0f}x)")
+
+    print()
+    print(banner("Figure 9 (right): cost to perform INDEL realignment"))
+    print(format_table(
+        ["system", "instance", "hours", "dollars", "paper dollars"],
+        [[name, report.instance.name, f"{report.hours:.2f}",
+          f"${report.dollars:.2f}", f"${PAPER_COST[name]:.2f}"]
+         for name, report in outcome.costs.items()],
+    ))
+    gatk3_cost = outcome.costs["GATK3"].dollars
+    adam_cost = outcome.costs["ADAM"].dollars
+    iracc_cost = outcome.costs["IR ACC"].dollars
+    print(f"\ncost efficiency vs GATK3: {gatk3_cost / iracc_cost:.0f}x "
+          f"(paper 32x); vs ADAM: {adam_cost / iracc_cost:.0f}x (paper 17x)")
+
+    from repro.perf.energy import accelerated_energy, software_energy
+
+    energy = {
+        name: (software_energy(name, report.seconds)
+               if name != "IR ACC"
+               else accelerated_energy(report.seconds))
+        for name, report in outcome.costs.items()
+    }
+    print("\nEnergy view (documented power envelopes, see repro.perf.energy):")
+    print(format_table(
+        ["system", "avg watts", "watt-hours"],
+        [[name, f"{r.average_watts:.0f}", f"{r.watt_hours:.1f}"]
+         for name, r in energy.items()],
+    ))
+    print(f"energy efficiency vs GATK3: "
+          f"{energy['GATK3'].joules / energy['IR ACC'].joules:.0f}x")
+    return outcome
+
+
+if __name__ == "__main__":
+    main()

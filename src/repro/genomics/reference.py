@@ -1,0 +1,110 @@
+"""Reference-genome model.
+
+The paper aligns NA12878 against the GRCh37 human reference. We model a
+reference as an ordered collection of named contigs ("chromosomes") with
+random access to subsequences -- the only operation INDEL realignment
+needs from it (fetching the reference window of each target, which
+becomes consensus 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.genomics.sequence import random_bases, validate_bases
+
+
+@dataclass(frozen=True)
+class Contig:
+    """One reference contig (chromosome)."""
+
+    name: str
+    sequence: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("contig name must be non-empty")
+        validate_bases(self.sequence)
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+class ReferenceGenome:
+    """A set of contigs with GRCh37-style coordinate access.
+
+    Coordinates are 0-based half-open throughout the library (the paper's
+    prose uses 1-based positions like ``22:10000``; the conversion happens
+    only in display code).
+    """
+
+    def __init__(self, contigs: List[Contig]):
+        if not contigs:
+            raise ValueError("a reference needs at least one contig")
+        self._contigs: Dict[str, Contig] = {}
+        for contig in contigs:
+            if contig.name in self._contigs:
+                raise ValueError(f"duplicate contig name {contig.name!r}")
+            self._contigs[contig.name] = contig
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, str]) -> "ReferenceGenome":
+        return cls([Contig(name, seq) for name, seq in mapping.items()])
+
+    @classmethod
+    def random(
+        cls,
+        contig_lengths: Mapping[str, int],
+        rng: np.random.Generator,
+    ) -> "ReferenceGenome":
+        """Generate a random reference with the given contig lengths."""
+        return cls(
+            [Contig(name, random_bases(length, rng)) for name, length in contig_lengths.items()]
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._contigs
+
+    def __iter__(self) -> Iterator[Contig]:
+        return iter(self._contigs.values())
+
+    def __len__(self) -> int:
+        return len(self._contigs)
+
+    @property
+    def contig_names(self) -> List[str]:
+        return list(self._contigs)
+
+    def contig(self, name: str) -> Contig:
+        try:
+            return self._contigs[name]
+        except KeyError:
+            raise KeyError(f"unknown contig {name!r}") from None
+
+    def length(self, name: str) -> int:
+        return len(self.contig(name))
+
+    def fetch(self, name: str, start: int, end: int) -> str:
+        """Return the reference bases of ``name`` in ``[start, end)``.
+
+        The interval must lie within the contig: target creation clamps
+        its windows before fetching, so an out-of-range fetch here is a
+        logic error worth surfacing.
+        """
+        contig = self.contig(name)
+        if not 0 <= start <= end <= len(contig):
+            raise IndexError(
+                f"interval [{start}, {end}) outside contig {name!r} "
+                f"of length {len(contig)}"
+            )
+        return contig.sequence[start:end]
+
+    def total_length(self) -> int:
+        return sum(len(contig) for contig in self)
+
+    def intervals(self) -> List[Tuple[str, int, int]]:
+        """Return ``(name, 0, length)`` for every contig."""
+        return [(contig.name, 0, len(contig)) for contig in self]

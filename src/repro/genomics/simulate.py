@@ -1,0 +1,356 @@
+"""Synthetic genome and short-read simulation.
+
+This module is the stand-in for the paper's dataset (NA12878 at 60-65x
+coverage, Illumina short reads, aligned with BWA-MEM). It reproduces the
+three properties INDEL realignment performance and correctness depend on:
+
+1. **INDEL-bearing reads with inconsistent representations.** The paper:
+   "if a read contains an insertion/deletion, the mapping will commonly
+   identify the correct genomic region ... but will locally misalign the
+   read relative to other reads that contain the same underlying sequence
+   variant." The simulator injects truth INDELs and then emits, per read,
+   either the correct gapped alignment or one of several plausible
+   misrepresentations (gap-free alignment absorbing the INDEL as
+   mismatches, or a small position shift), mimicking the probabilistic
+   pairwise-aligner behaviour IR exists to fix.
+2. **Quality-score structure.** Scores follow an Illumina-like profile
+   (high plateau, degrading tail) and sequencing errors are drawn with
+   the corresponding probabilities, so weighted-Hamming-distance inputs
+   are realistic.
+3. **Zipf-like coverage imbalance.** The paper observes "roughly between
+   100 reads and 100,000 reads per location interval" following a
+   Zipf-like distribution; hotspot sampling reproduces the imbalance that
+   motivates the accelerator's task-parallel design and makes
+   synchronous scheduling slow (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.genomics.cigar import Cigar, CigarOp
+from repro.genomics.quality import clamp_phred
+from repro.genomics.read import Read
+from repro.genomics.reference import ReferenceGenome
+from repro.genomics.sequence import CALLED_BASES, random_bases
+from repro.genomics.variants import Variant, VariantKind
+
+
+@dataclass(frozen=True)
+class SimulationProfile:
+    """Knobs of the read simulator, defaulting to the paper's regime."""
+
+    read_length: int = 250  # "short reads (around 250 base pairs)"
+    coverage: float = 60.0  # "high coverage (60-65x)"
+    base_error_rate: float = 0.005  # "0.5%-2% errors"; low end of the band
+    quality_plateau: int = 37
+    quality_tail_drop: int = 12  # plateau degrades linearly by this much
+    snp_rate: float = 1e-3
+    indel_rate: float = 2e-4
+    max_indel_length: int = 12
+    somatic_fraction_range: Tuple[float, float] = (0.2, 1.0)
+    # Probability that the "primary aligner" represents an INDEL-bearing
+    # read correctly; the remainder are misaligned and need realignment.
+    aligner_indel_accuracy: float = 0.45
+    hotspot_count: int = 4
+    hotspot_zipf_exponent: float = 1.5
+    hotspot_mass: float = 0.3  # fraction of reads drawn from hotspots
+
+    def __post_init__(self) -> None:
+        if self.read_length <= 0:
+            raise ValueError("read_length must be positive")
+        if self.coverage <= 0:
+            raise ValueError("coverage must be positive")
+        if not 0 <= self.base_error_rate < 1:
+            raise ValueError("base_error_rate must be in [0, 1)")
+        if not 0 <= self.aligner_indel_accuracy <= 1:
+            raise ValueError("aligner_indel_accuracy must be in [0, 1]")
+        if not 0 <= self.hotspot_mass < 1:
+            raise ValueError("hotspot_mass must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class SimulatedSample:
+    """Output of a simulation run: aligned reads plus ground truth."""
+
+    reads: List[Read]
+    truth_variants: List[Variant]
+    reference: ReferenceGenome
+
+
+def plan_variants(
+    reference: ReferenceGenome,
+    profile: SimulationProfile,
+    rng: np.random.Generator,
+) -> List[Variant]:
+    """Draw truth SNPs and INDELs along every contig.
+
+    Variants are spaced at least ``2 * max_indel_length`` apart so their
+    reference spans never overlap, which keeps read construction and
+    truth evaluation unambiguous.
+    """
+    min_gap = 2 * profile.max_indel_length + 2
+    variants: List[Variant] = []
+    for contig in reference:
+        length = len(contig)
+        expected = length * (profile.snp_rate + profile.indel_rate)
+        count = int(rng.poisson(expected))
+        if count == 0:
+            continue
+        positions = np.sort(
+            rng.choice(max(length - profile.max_indel_length - 1, 1),
+                       size=min(count, max(length // min_gap, 1)),
+                       replace=False)
+        )
+        last_end = -min_gap
+        for pos in positions:
+            pos = int(pos)
+            if pos - last_end < min_gap:
+                continue
+            ref_base = contig.sequence[pos]
+            if ref_base == "N":
+                continue
+            fraction = float(
+                rng.uniform(*profile.somatic_fraction_range)
+            )
+            indel_share = profile.indel_rate / (profile.snp_rate + profile.indel_rate)
+            if rng.random() < indel_share:
+                size = int(rng.integers(1, profile.max_indel_length + 1))
+                if rng.random() < 0.5:
+                    # Insertion after pos.
+                    alt = ref_base + random_bases(size, rng)
+                    variant = Variant(contig.name, pos, ref_base, alt, fraction)
+                else:
+                    # Deletion of `size` bases after pos.
+                    if pos + 1 + size > length:
+                        continue
+                    ref = contig.sequence[pos : pos + 1 + size]
+                    variant = Variant(contig.name, pos, ref, ref_base, fraction)
+            else:
+                alt = ref_base
+                while alt == ref_base:
+                    alt = CALLED_BASES[int(rng.integers(0, 4))]
+                variant = Variant(contig.name, pos, ref_base, alt, fraction)
+            variants.append(variant)
+            last_end = pos + variant.ref_span
+    return variants
+
+
+def _quality_profile(length: int, profile: SimulationProfile,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Illumina-like per-base qualities: plateau with a degrading 3' tail."""
+    positions = np.arange(length)
+    tail = profile.quality_tail_drop * np.maximum(
+        0.0, (positions - 0.6 * length) / (0.4 * length + 1)
+    )
+    noise = rng.normal(0.0, 2.0, size=length)
+    return clamp_phred(np.round(profile.quality_plateau - tail + noise))
+
+
+def _apply_errors(bases: List[str], quals: np.ndarray,
+                  rng: np.random.Generator, error_rate: float) -> None:
+    """Flip bases in place at the profile's mean error rate.
+
+    Per-base probabilities follow the Phred scores (low-quality bases
+    fail more often -- the correlation BQSR estimates), rescaled so the
+    read's expected error count is ``error_rate * len(bases)``.
+    """
+    if error_rate <= 0 or not bases:
+        return
+    probs = 10.0 ** (-quals.astype(np.float64) / 10.0)
+    mean = probs.mean()
+    if mean > 0:
+        probs = np.minimum(probs * (error_rate / mean), 0.75)
+    flips = rng.random(len(bases)) < probs
+    for index in np.nonzero(flips)[0]:
+        original = bases[index]
+        substitute = original
+        while substitute == original:
+            substitute = CALLED_BASES[int(rng.integers(0, 4))]
+        bases[index] = substitute
+
+
+def _variants_in_window(
+    variants: Sequence[Variant], chrom: str, start: int, end: int
+) -> List[Variant]:
+    return [
+        v for v in variants
+        if v.chrom == chrom and v.pos < end and v.pos + v.ref_span > start
+    ]
+
+
+def _build_read_sequence(
+    reference: ReferenceGenome,
+    chrom: str,
+    start: int,
+    read_length: int,
+    carried: Sequence[Variant],
+) -> Tuple[str, Cigar, bool]:
+    """Construct a read's true bases and true CIGAR from carried variants.
+
+    Walks the reference from ``start``, substituting each carried
+    variant's alt allele, until ``read_length`` bases are collected.
+    Returns ``(bases, true_cigar, has_indel)``.
+    """
+    contig_len = reference.length(chrom)
+    bases: List[str] = []
+    elements: List[Tuple[CigarOp, int]] = []
+    ref_pos = start
+    has_indel = False
+    by_pos = {v.pos: v for v in carried}
+    while len(bases) < read_length and ref_pos < contig_len:
+        variant = by_pos.get(ref_pos)
+        if variant is None:
+            bases.append(reference.fetch(chrom, ref_pos, ref_pos + 1))
+            elements.append((CigarOp.MATCH, 1))
+            ref_pos += 1
+            continue
+        if variant.kind is VariantKind.SNP:
+            bases.append(variant.alt)
+            elements.append((CigarOp.MATCH, 1))
+            ref_pos += 1
+        elif variant.kind is VariantKind.INSERTION:
+            bases.append(variant.ref)  # anchor base
+            elements.append((CigarOp.MATCH, 1))
+            inserted = variant.alt[1:]
+            take = min(len(inserted), read_length - len(bases))
+            if take > 0:
+                bases.extend(inserted[:take])
+                elements.append((CigarOp.INSERTION, take))
+                has_indel = True
+            ref_pos += 1
+        else:  # deletion
+            bases.append(variant.alt)  # anchor base
+            elements.append((CigarOp.MATCH, 1))
+            deleted = variant.ref_span - 1
+            elements.append((CigarOp.DELETION, deleted))
+            has_indel = True
+            ref_pos += 1 + deleted
+    cigar = Cigar.from_elements(elements)
+    return "".join(bases), cigar, has_indel
+
+
+def _misaligned_cigar(read_length: int) -> Cigar:
+    """The gap-free representation a confused aligner emits."""
+    return Cigar.matched(read_length)
+
+
+class ReadSimulator:
+    """Samples aligned reads from a reference plus truth variants."""
+
+    def __init__(
+        self,
+        reference: ReferenceGenome,
+        profile: Optional[SimulationProfile] = None,
+        seed: int = 0,
+    ):
+        self.reference = reference
+        self.profile = profile or SimulationProfile()
+        self.rng = np.random.default_rng(seed)
+        self._hotspots = self._draw_hotspots()
+
+    def _draw_hotspots(self) -> List[Tuple[str, int]]:
+        hotspots: List[Tuple[str, int]] = []
+        for contig in self.reference:
+            usable = max(len(contig) - self.profile.read_length, 1)
+            for _ in range(self.profile.hotspot_count):
+                hotspots.append((contig.name, int(self.rng.integers(0, usable))))
+        return hotspots
+
+    def _sample_start(self, chrom: str, usable: int) -> int:
+        """Uniform start, with a Zipf-weighted hotspot mixture."""
+        if self._hotspots and self.rng.random() < self.profile.hotspot_mass:
+            local = [h for h in self._hotspots if h[0] == chrom]
+            if local:
+                ranks = np.arange(1, len(local) + 1, dtype=np.float64)
+                weights = ranks ** (-self.profile.hotspot_zipf_exponent)
+                weights /= weights.sum()
+                _, center = local[int(self.rng.choice(len(local), p=weights))]
+                jitter = int(self.rng.integers(-self.profile.read_length // 2,
+                                               self.profile.read_length // 2 + 1))
+                return int(np.clip(center + jitter, 0, usable - 1))
+        return int(self.rng.integers(0, usable))
+
+    def simulate(
+        self, variants: Optional[Sequence[Variant]] = None
+    ) -> SimulatedSample:
+        """Simulate a whole sample at the profile's coverage."""
+        if variants is None:
+            variants = plan_variants(self.reference, self.profile, self.rng)
+        reads: List[Read] = []
+        serial = 0
+        for contig in self.reference:
+            usable = len(contig) - self.profile.read_length
+            if usable <= 0:
+                continue
+            count = int(
+                round(self.profile.coverage * len(contig) / self.profile.read_length)
+            )
+            for _ in range(count):
+                start = self._sample_start(contig.name, usable)
+                reads.append(self._simulate_one(contig.name, start, variants, serial))
+                serial += 1
+        return SimulatedSample(reads=reads, truth_variants=list(variants),
+                               reference=self.reference)
+
+    def _simulate_one(
+        self,
+        chrom: str,
+        start: int,
+        variants: Sequence[Variant],
+        serial: int,
+    ) -> Read:
+        profile = self.profile
+        window_end = start + profile.read_length + profile.max_indel_length + 1
+        window_end = min(window_end, self.reference.length(chrom))
+        candidates = _variants_in_window(variants, chrom, start, window_end)
+        carried = [
+            v for v in candidates if self.rng.random() < v.allele_fraction
+        ]
+        bases_str, true_cigar, has_indel = _build_read_sequence(
+            self.reference, chrom, start, profile.read_length, carried
+        )
+        quals = _quality_profile(len(bases_str), profile, self.rng)
+        bases = list(bases_str)
+        _apply_errors(bases, quals, self.rng, profile.base_error_rate)
+        seq = "".join(bases)
+
+        if has_indel and self.rng.random() >= profile.aligner_indel_accuracy:
+            # Misaligned representation: the aligner keeps the correct
+            # genomic region ("the mapping will commonly identify the
+            # correct genomic region") but absorbs the INDEL into a
+            # gap-free alignment, so every base downstream of the INDEL
+            # mismatches the reference. This is the error signature
+            # INDEL realignment exists to correct.
+            pos = min(start, self.reference.length(chrom) - len(seq))
+            cigar = _misaligned_cigar(len(seq))
+            mapq = int(self.rng.integers(20, 40))
+        else:
+            pos = start
+            cigar = true_cigar
+            mapq = int(self.rng.integers(50, 61))
+        return Read(
+            name=f"sim{serial:08d}",
+            chrom=chrom,
+            pos=pos,
+            seq=seq,
+            quals=quals,
+            cigar=cigar,
+            mapq=mapq,
+            is_reverse=bool(self.rng.random() < 0.5),
+        )
+
+
+def simulate_sample(
+    contig_lengths,
+    profile: Optional[SimulationProfile] = None,
+    seed: int = 0,
+) -> SimulatedSample:
+    """One-call convenience: random reference + variants + reads."""
+    rng = np.random.default_rng(seed)
+    reference = ReferenceGenome.random(contig_lengths, rng)
+    simulator = ReadSimulator(reference, profile, seed=seed + 1)
+    return simulator.simulate()

@@ -1,0 +1,131 @@
+"""Read-set statistics.
+
+Summarises an aligned read set the way a sequencing QC report would:
+coverage, mapping and duplicate rates, CIGAR-operation composition,
+mismatch rate against the reference, and quality-score distribution.
+Used by the examples to characterise simulated samples and by tests to
+assert the simulator hits its configured operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.genomics.cigar import CigarOp
+from repro.genomics.read import Read
+from repro.genomics.reference import ReferenceGenome
+
+
+@dataclass
+class ReadSetStats:
+    """Aggregate statistics of one read set."""
+
+    total_reads: int = 0
+    mapped_reads: int = 0
+    duplicate_reads: int = 0
+    total_bases: int = 0
+    aligned_bases: int = 0
+    mismatched_bases: int = 0
+    cigar_ops: Dict[str, int] = field(default_factory=dict)
+    quality_sum: int = 0
+    reads_with_indels: int = 0
+    coverage_by_contig: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mapped_fraction(self) -> float:
+        return self.mapped_reads / self.total_reads if self.total_reads else 0.0
+
+    @property
+    def duplicate_fraction(self) -> float:
+        return (self.duplicate_reads / self.mapped_reads
+                if self.mapped_reads else 0.0)
+
+    @property
+    def mismatch_rate(self) -> float:
+        return (self.mismatched_bases / self.aligned_bases
+                if self.aligned_bases else 0.0)
+
+    @property
+    def mean_quality(self) -> float:
+        return self.quality_sum / self.total_bases if self.total_bases else 0.0
+
+    @property
+    def indel_read_fraction(self) -> float:
+        return (self.reads_with_indels / self.mapped_reads
+                if self.mapped_reads else 0.0)
+
+    @property
+    def mean_coverage(self) -> float:
+        if not self.coverage_by_contig:
+            return 0.0
+        return float(np.mean(list(self.coverage_by_contig.values())))
+
+
+def compute_stats(
+    reads: Sequence[Read],
+    reference: Optional[ReferenceGenome] = None,
+) -> ReadSetStats:
+    """One pass over the reads; mismatch rate needs the reference."""
+    stats = ReadSetStats(total_reads=len(reads))
+    contig_bases: Dict[str, int] = {}
+    for read in reads:
+        stats.total_bases += len(read)
+        stats.quality_sum += int(read.quals.sum())
+        if not read.is_mapped:
+            continue
+        stats.mapped_reads += 1
+        if read.is_duplicate:
+            stats.duplicate_reads += 1
+        if read.has_indel:
+            stats.reads_with_indels += 1
+        read_offset = 0
+        ref_pos = read.pos
+        for op, length in read.cigar:
+            stats.cigar_ops[op.value] = (
+                stats.cigar_ops.get(op.value, 0) + length
+            )
+            if op is CigarOp.MATCH:
+                stats.aligned_bases += length
+                contig_bases[read.chrom] = (
+                    contig_bases.get(read.chrom, 0) + length
+                )
+                if reference is not None:
+                    window = reference.fetch(read.chrom, ref_pos,
+                                             ref_pos + length)
+                    segment = read.seq[read_offset : read_offset + length]
+                    stats.mismatched_bases += sum(
+                        1 for a, b in zip(segment, window) if a != b
+                    )
+            if op.consumes_read:
+                read_offset += length
+            if op.consumes_reference:
+                ref_pos += length
+    if reference is not None:
+        for contig in reference:
+            covered = contig_bases.get(contig.name, 0)
+            stats.coverage_by_contig[contig.name] = covered / len(contig)
+    return stats
+
+
+def format_stats(stats: ReadSetStats) -> str:
+    """A compact human-readable QC block."""
+    lines = [
+        f"reads:            {stats.total_reads:,} "
+        f"({stats.mapped_fraction:.1%} mapped, "
+        f"{stats.duplicate_fraction:.1%} duplicates)",
+        f"bases:            {stats.total_bases:,} "
+        f"(mean Q{stats.mean_quality:.1f})",
+        f"mismatch rate:    {stats.mismatch_rate:.3%}",
+        f"reads w/ INDELs:  {stats.indel_read_fraction:.1%}",
+    ]
+    if stats.coverage_by_contig:
+        lines.append(f"mean coverage:    {stats.mean_coverage:.1f}x")
+    if stats.cigar_ops:
+        ops = ", ".join(
+            f"{op}={count:,}" for op, count in sorted(stats.cigar_ops.items())
+        )
+        lines.append(f"cigar bases:      {ops}")
+    return "\n".join(lines)

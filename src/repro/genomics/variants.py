@@ -1,0 +1,77 @@
+"""Truth-variant records shared by the simulator and the variant caller.
+
+A :class:`Variant` uses VCF-style normalisation: ``ref`` and ``alt`` are
+the reference and alternate allele strings anchored at ``pos`` (0-based).
+SNP: ``ref`` and ``alt`` both length 1. Insertion: ``alt`` extends
+``ref`` (e.g. ``A`` -> ``ATTG``). Deletion: ``ref`` extends ``alt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.genomics.sequence import validate_bases
+
+
+class VariantKind(str, Enum):
+    SNP = "SNP"
+    INSERTION = "INS"
+    DELETION = "DEL"
+
+
+@dataclass(frozen=True, order=True)
+class Variant:
+    """A sequence difference between a sample and the reference.
+
+    ``allele_fraction`` models somatic variants: the fraction of reads
+    drawn over this locus that carry the alternate allele. Germline
+    heterozygous variants would use 0.5; the paper's motivating somatic
+    use case involves much lower fractions ("low-frequency somatic
+    variants (difficult to detect)").
+    """
+
+    chrom: str
+    pos: int
+    ref: str
+    alt: str
+    allele_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        validate_bases(self.ref)
+        validate_bases(self.alt)
+        if not self.ref or not self.alt:
+            raise ValueError("ref and alt alleles must be non-empty")
+        if self.ref == self.alt:
+            raise ValueError(f"ref and alt are identical at {self.chrom}:{self.pos}")
+        if self.pos < 0:
+            raise ValueError(f"negative variant position {self.pos}")
+        if not 0.0 < self.allele_fraction <= 1.0:
+            raise ValueError(
+                f"allele fraction must be in (0, 1], got {self.allele_fraction}"
+            )
+
+    @property
+    def kind(self) -> VariantKind:
+        if len(self.ref) == len(self.alt) == 1:
+            return VariantKind.SNP
+        if len(self.alt) > len(self.ref):
+            return VariantKind.INSERTION
+        return VariantKind.DELETION
+
+    @property
+    def is_indel(self) -> bool:
+        return self.kind is not VariantKind.SNP
+
+    @property
+    def ref_span(self) -> int:
+        """Reference bases consumed by this variant."""
+        return len(self.ref)
+
+    @property
+    def length_change(self) -> int:
+        """Signed size change: positive for insertions, negative for deletions."""
+        return len(self.alt) - len(self.ref)
+
+    def describe(self) -> str:
+        return f"{self.chrom}:{self.pos} {self.ref}>{self.alt} ({self.kind.value})"

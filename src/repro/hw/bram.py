@@ -1,0 +1,70 @@
+"""Block-RAM mapping arithmetic.
+
+UltraScale+ block RAM comes in 36 Kb tiles (BRAM36) that are at most
+72 bits wide; a logical buffer wider than that is built from a row of
+tiles, and deeper than 1024 x 36 b from multiple ranks. The IR unit's
+buffers are 256 bits wide to feed the 32-byte-per-cycle data-parallel
+Hamming distance calculator, so mapping width dominates the count.
+
+"The number of IR units that can be instantiated on a single FPGA is
+limited by the number of block RAM cells available" (Section IV) -- this
+module is how the reproduction derives that limit instead of asserting it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Capacity of one BRAM36 tile in bits.
+BRAM36_BITS = 36 * 1024
+
+#: Maximum data width of one BRAM36 tile (72-bit SDP mode).
+BRAM36_MAX_WIDTH = 72
+
+#: Native column geometry used for multi-tile buffers: 36 b x 1024 deep.
+BRAM36_COLUMN_WIDTH = 36
+BRAM36_COLUMN_DEPTH = 1024
+
+
+@dataclass(frozen=True)
+class Bram36Requirement:
+    """BRAM36 tiles needed to realise one logical buffer."""
+
+    name: str
+    capacity_bytes: int
+    width_bits: int
+    columns: int
+    ranks: int
+
+    @property
+    def tiles(self) -> int:
+        return self.columns * self.ranks
+
+
+def blocks_for_buffer(name: str, capacity_bytes: int, width_bits: int
+                      ) -> Bram36Requirement:
+    """Map a (capacity, width) buffer onto BRAM36 tiles.
+
+    A buffer of width W needs ``ceil(W / 36)`` tile columns; each column
+    holds 1024 entries, so depth beyond 1024 adds ranks.
+    """
+    if capacity_bytes <= 0 or width_bits <= 0:
+        raise ValueError("capacity and width must be positive")
+    if width_bits % 8 != 0:
+        raise ValueError(f"width {width_bits} is not byte-aligned")
+    depth = math.ceil(capacity_bytes * 8 / width_bits)
+    if width_bits <= BRAM36_MAX_WIDTH:
+        # Narrow buffer: a single column in the widest usable aspect.
+        columns = 1
+        ranks = max(1, math.ceil(capacity_bytes * 8 / BRAM36_BITS))
+    else:
+        columns = math.ceil(width_bits / BRAM36_COLUMN_WIDTH)
+        ranks = max(1, math.ceil(depth / BRAM36_COLUMN_DEPTH))
+    return Bram36Requirement(
+        name=name,
+        capacity_bytes=capacity_bytes,
+        width_bits=width_bits,
+        columns=columns,
+        ranks=ranks,
+    )

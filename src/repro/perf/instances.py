@@ -1,0 +1,85 @@
+"""EC2 instance catalog (paper Table II and Section V prices).
+
+"Since Amazon has priced out AWS EC2 instances proportional to the TCO
+... of running different types of systems, we can simply use that as the
+true cost (dollar amount) it takes to run these systems."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class EC2Instance:
+    """One EC2 instance type as configured in the paper."""
+
+    name: str
+    processor: str
+    cores: int
+    threads: int
+    clock_ghz: float
+    memory_gib: float
+    price_per_hour: float
+    fpga: Optional[str] = None
+    fpga_memory_gib: float = 0.0
+    gpu: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.price_per_hour <= 0:
+            raise ValueError("price must be positive")
+        if self.cores <= 0 or self.threads < self.cores:
+            raise ValueError("invalid core/thread configuration")
+
+    def cost(self, seconds: float) -> float:
+        """Dollars to run for ``seconds`` (fractional hours billed)."""
+        if seconds < 0:
+            raise ValueError("duration must be non-negative")
+        return self.price_per_hour * seconds / 3600.0
+
+
+#: The accelerated system's host: "a commodity server blade with a
+#: Xilinx Virtex UltraScale+ FPGA and 4 channels of DDR4" at $1.65/hr.
+F1_2XLARGE = EC2Instance(
+    name="f1.2xlarge",
+    processor="Intel Xeon E5-2686 v4 (Broadwell)",
+    cores=4,
+    threads=8,
+    clock_ghz=2.2,
+    memory_gib=122.0,
+    price_per_hour=1.65,
+    fpga="Xilinx Virtex UltraScale+ VU9P",
+    fpga_memory_gib=64.0,
+)
+
+#: The software baseline host, "the most cost efficient hardware
+#: platform available in EC2 to run the GATK3 experiments" (GATK3 does
+#: not scale beyond 8 threads) at 66.5 cents/hr.
+R3_2XLARGE = EC2Instance(
+    name="r3.2xlarge",
+    processor="Intel Xeon E5-2670 v2 (Ivy Bridge)",
+    cores=4,
+    threads=8,
+    clock_ghz=2.5,
+    memory_gib=61.0,
+    price_per_hour=0.665,
+)
+
+#: The hypothetical GPU comparison point ("a single high-end GPU AWS EC2
+#: instance ($3.06/hr)").
+P3_2XLARGE = EC2Instance(
+    name="p3.2xlarge",
+    processor="Intel Xeon E5-2686 v4 (Broadwell)",
+    cores=4,
+    threads=8,
+    clock_ghz=2.3,
+    memory_gib=61.0,
+    price_per_hour=3.06,
+    gpu="NVIDIA Tesla V100",
+)
+
+INSTANCE_CATALOG: Dict[str, EC2Instance] = {
+    instance.name: instance
+    for instance in (F1_2XLARGE, R3_2XLARGE, P3_2XLARGE)
+}

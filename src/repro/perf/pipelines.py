@@ -1,0 +1,166 @@
+"""The three-pipeline execution-time model (Figures 2 and 3).
+
+Figure 2's absolute measurements (GATK3 + BWA-MEM on the paper's
+r3.2xlarge): primary alignment ~17 hours, alignment refinement ~72
+hours, variant calling ~36 hours -- "the primary alignment accounts for
+less than 15% of the genomic analysis execution time, while the
+alignment refinement pipeline accounts for roughly 60%".
+
+Stage splits within each pipeline:
+
+- primary alignment (BWA-MEM, breakdown per the paper's reference [10]),
+  constrained by the two shares the paper states against *total*
+  execution time: Smith-Waterman seed extension 5% and suffix-array
+  lookup 1.5% of the whole analysis;
+- alignment refinement: IR averages 58% (measured in Figure 3); the
+  remaining stages split per the Figure 2 bar;
+- variant calling: a single stage.
+
+Figure 3's per-chromosome IR fraction is *derived*, not tabulated: IR
+work comes from the census and shape profile, the other refinement
+stages scale with the chromosome's read count, and the single
+calibration constant (seconds of non-IR refinement work per read) is
+set so the genome-wide average IR share matches the measured 58%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.perf.model import (
+    Gatk3PerformanceModel,
+    chromosome_unpruned_comparisons,
+)
+from repro.workloads.chromosomes import CHROMOSOME_CENSUS, ChromosomeCensus
+from repro.workloads.generator import REAL_PROFILE, SiteProfile
+
+#: Figure 2 absolute pipeline runtimes (hours) on the paper's testbed.
+PAPER_PIPELINE_HOURS: Dict[str, float] = {
+    "primary_alignment": 17.0,
+    "alignment_refinement": 72.0,
+    "variant_calling": 36.0,
+}
+
+#: Whole-analysis share of the two primary-alignment kernels the paper
+#: quotes: "Smith-Waterman seed extension (5%) or suffix array lookup
+#: (1.5%)".
+SMITH_WATERMAN_TOTAL_SHARE = 0.05
+SUFFIX_ARRAY_TOTAL_SHARE = 0.015
+
+#: Stage splits within each pipeline (fractions sum to 1).
+PRIMARY_STAGE_SPLIT: Dict[str, float] = {
+    "smem_generation": 0.30,
+    "suffix_array_lookup": 0.11,  # = 1.5% of total / (17h / 125h)
+    "seed_extension_smith_waterman": 0.37,  # = 5% of total / (17h / 125h)
+    "output": 0.12,
+    "other": 0.10,
+}
+
+REFINEMENT_STAGE_SPLIT: Dict[str, float] = {
+    "sort": 0.08,
+    "duplicate_marking": 0.12,
+    "indel_realignment": 0.58,  # Figure 3 genome-wide average
+    "base_quality_score_recalibration": 0.22,
+}
+
+VARIANT_CALLING_STAGE_SPLIT: Dict[str, float] = {"variant_calling": 1.0}
+
+#: Figure 3 bounds the paper reports: "Ranging from 53% to 67%,
+#: alignment refinement spends an average of 58% of its execution time
+#: in INDEL realignments."
+PAPER_IR_FRACTION_AVG = 0.58
+PAPER_IR_FRACTION_RANGE = (0.53, 0.67)
+
+
+def total_analysis_hours() -> float:
+    return sum(PAPER_PIPELINE_HOURS.values())
+
+
+def pipeline_fractions() -> Dict[str, float]:
+    """Each pipeline's share of total execution time (Figure 2 outer)."""
+    total = total_analysis_hours()
+    return {name: hours / total for name, hours in PAPER_PIPELINE_HOURS.items()}
+
+
+def stage_hours() -> Dict[str, Dict[str, float]]:
+    """Absolute hours per stage per pipeline (Figure 2 inner bars)."""
+    splits = {
+        "primary_alignment": PRIMARY_STAGE_SPLIT,
+        "alignment_refinement": REFINEMENT_STAGE_SPLIT,
+        "variant_calling": VARIANT_CALLING_STAGE_SPLIT,
+    }
+    return {
+        pipeline: {
+            stage: fraction * PAPER_PIPELINE_HOURS[pipeline]
+            for stage, fraction in split.items()
+        }
+        for pipeline, split in splits.items()
+    }
+
+
+def ir_share_of_total() -> float:
+    """IR's share of the whole analysis (paper: "roughly 34%")."""
+    hours = stage_hours()
+    return (
+        hours["alignment_refinement"]["indel_realignment"]
+        / total_analysis_hours()
+    )
+
+
+@dataclass(frozen=True)
+class RefinementBreakdown:
+    """One chromosome's modelled refinement-pipeline composition."""
+
+    chromosome: str
+    ir_seconds: float
+    other_seconds: float
+
+    @property
+    def ir_fraction(self) -> float:
+        return self.ir_seconds / (self.ir_seconds + self.other_seconds)
+
+
+def _calibrate_other_cost_per_read(
+    gatk3: Gatk3PerformanceModel, profile: SiteProfile
+) -> float:
+    """Seconds of non-IR refinement per read so the average IR share
+    matches the measured 58%."""
+    total_ir = sum(
+        gatk3.seconds_for_comparisons(
+            chromosome_unpruned_comparisons(census, profile)
+        )
+        for census in CHROMOSOME_CENSUS
+    )
+    total_reads = sum(census.reads for census in CHROMOSOME_CENSUS)
+    total_other = total_ir * (1 - PAPER_IR_FRACTION_AVG) / PAPER_IR_FRACTION_AVG
+    return total_other / total_reads
+
+
+def refinement_breakdown(
+    profile: SiteProfile = REAL_PROFILE,
+    gatk3: Gatk3PerformanceModel = None,
+) -> List[RefinementBreakdown]:
+    """Per-chromosome IR vs other-stage refinement time (Figure 3)."""
+    gatk3 = gatk3 or Gatk3PerformanceModel.calibrated(profile)
+    per_read = _calibrate_other_cost_per_read(gatk3, profile)
+    rows = []
+    for census in CHROMOSOME_CENSUS:
+        ir_seconds = gatk3.seconds_for_comparisons(
+            chromosome_unpruned_comparisons(census, profile)
+        )
+        rows.append(
+            RefinementBreakdown(
+                chromosome=census.name,
+                ir_seconds=ir_seconds,
+                other_seconds=census.reads * per_read,
+            )
+        )
+    return rows
+
+
+def average_ir_fraction(rows: List[RefinementBreakdown]) -> float:
+    """Work-weighted average IR share across chromosomes."""
+    total_ir = sum(row.ir_seconds for row in rows)
+    total = sum(row.ir_seconds + row.other_seconds for row in rows)
+    return total_ir / total

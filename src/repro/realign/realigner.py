@@ -1,0 +1,183 @@
+"""The end-to-end software INDEL realigner (GATK3 functional baseline).
+
+Drives the full per-contig flow: identify targets, assemble a
+:class:`RealignmentSite` per target, run Algorithms 1 + 2, and rewrite the
+winning reads' alignments. This is the *functional* reference against
+which the accelerator model must be bit-identical; its *work counters*
+(unpruned base comparisons, per-site shapes) feed the performance models
+in :mod:`repro.perf` and :mod:`repro.baselines`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.genomics.read import Read
+from repro.genomics.reference import ReferenceGenome
+from repro.realign.consensus import (
+    ConsensusWindow,
+    build_site,
+    realigned_read_placement,
+)
+from repro.realign.site import RealignmentSite, SiteLimits, PAPER_LIMITS
+from repro.realign.targets import (
+    RealignmentTarget,
+    TargetCreatorConfig,
+    identify_targets,
+)
+from repro.realign.whd import SiteResult, realign_site
+
+
+@dataclass(frozen=True)
+class SiteShape:
+    """Structural summary of one realigned site (feeds the perf models)."""
+
+    chrom: str
+    start: int
+    num_consensuses: int
+    num_reads: int
+    consensus_lengths: Tuple[int, ...]
+    read_lengths: Tuple[int, ...]
+    unpruned_comparisons: int
+    reads_realigned: int
+
+    @classmethod
+    def from_site(cls, site: RealignmentSite, result: SiteResult) -> "SiteShape":
+        return cls(
+            chrom=site.chrom,
+            start=site.start,
+            num_consensuses=site.num_consensuses,
+            num_reads=site.num_reads,
+            consensus_lengths=tuple(len(c) for c in site.consensuses),
+            read_lengths=tuple(len(r) for r in site.reads),
+            unpruned_comparisons=site.unpruned_comparisons(),
+            reads_realigned=result.num_realigned,
+        )
+
+
+@dataclass
+class RealignerReport:
+    """Aggregate statistics of one realignment run."""
+
+    targets_identified: int = 0
+    sites_built: int = 0
+    reads_examined: int = 0
+    reads_realigned: int = 0
+    unpruned_comparisons: int = 0
+    site_shapes: List[SiteShape] = field(default_factory=list)
+
+    def merge(self, other: "RealignerReport") -> None:
+        self.targets_identified += other.targets_identified
+        self.sites_built += other.sites_built
+        self.reads_examined += other.reads_examined
+        self.reads_realigned += other.reads_realigned
+        self.unpruned_comparisons += other.unpruned_comparisons
+        self.site_shapes.extend(other.site_shapes)
+
+
+class IndelRealigner:
+    """Software INDEL realigner over a reference genome."""
+
+    def __init__(
+        self,
+        reference: ReferenceGenome,
+        creator_config: Optional[TargetCreatorConfig] = None,
+        limits: SiteLimits = PAPER_LIMITS,
+        vectorized: bool = True,
+        consensus_strategy: str = "observed",
+        scoring: str = "similarity",
+    ):
+        """``consensus_strategy`` selects how alternate haplotypes are
+        built: ``"observed"`` (the GATK3/paper approach -- INDELs lifted
+        from read CIGARs) or ``"assembly"`` (HaplotypeCaller-style local
+        de Bruijn assembly, :mod:`repro.realign.assembly`).
+        ``scoring`` selects Algorithm 2's consensus-score semantics
+        (see :func:`repro.realign.whd.score_and_select`)."""
+        if consensus_strategy not in ("observed", "assembly"):
+            raise ValueError(
+                f"unknown consensus strategy {consensus_strategy!r}"
+            )
+        self.reference = reference
+        self.creator_config = creator_config or TargetCreatorConfig(limits=limits)
+        self.limits = limits
+        self.vectorized = vectorized
+        self.consensus_strategy = consensus_strategy
+        self.scoring = scoring
+
+    def build_sites(
+        self, reads: Sequence[Read]
+    ) -> Tuple[List[RealignmentTarget], List[ConsensusWindow]]:
+        """Target identification + consensus generation, without realigning.
+
+        Exposed separately because the accelerated system reuses exactly
+        this front half on the host and offloads only the WHD kernel.
+        """
+        targets = identify_targets(reads, self.reference, self.creator_config)
+        if self.consensus_strategy == "assembly":
+            from repro.realign.assembly import build_site_by_assembly
+            builder = build_site_by_assembly
+        else:
+            builder = build_site
+        # A read belongs to exactly one target: consensus windows extend
+        # beyond their (disjoint) target intervals, so without claiming,
+        # a read anchored near two targets could be realigned twice with
+        # order-dependent results.
+        claimed: set = set()
+        windows: List[ConsensusWindow] = []
+        for target in targets:
+            available = [read for read in reads if read.name not in claimed]
+            built = builder(target, available, self.reference, self.limits)
+            if built is not None:
+                claimed.update(read.name for read in built.reads)
+                windows.append(built)
+        return targets, windows
+
+    def realign(self, reads: Sequence[Read]) -> Tuple[List[Read], RealignerReport]:
+        """Realign a read set; returns (updated reads, report).
+
+        Reads keep their input order. Each read is realigned at most once
+        (targets are disjoint by construction).
+        """
+        targets, windows = self.build_sites(reads)
+        report = RealignerReport(
+            targets_identified=len(targets),
+            sites_built=len(windows),
+            reads_examined=len(reads),
+        )
+        updates: Dict[str, Read] = {}
+        for window in windows:
+            site = window.site
+            result = realign_site(site, vectorized=self.vectorized,
+                                  scoring=self.scoring)
+            report.unpruned_comparisons += site.unpruned_comparisons()
+            report.site_shapes.append(SiteShape.from_site(site, result))
+            for j, read in enumerate(window.reads):
+                if result.realign[j]:
+                    updates[read.name] = apply_realignment(
+                        read, window, result.best_cons, int(result.new_pos[j])
+                    )
+                    report.reads_realigned += 1
+        updated = [updates.get(read.name, read) for read in reads]
+        return updated, report
+
+
+def apply_realignment(
+    read: Read,
+    window: ConsensusWindow,
+    best_cons: int,
+    kernel_new_pos: int,
+) -> Read:
+    """Apply one kernel realignment decision to a read.
+
+    The kernel reports ``new_pos = min_whd_idx + target_start`` (the
+    read's winning offset against the picked consensus, translated by
+    the window start); the host converts it into a reference-space
+    position and CIGAR using the consensus's INDEL.
+    """
+    site = window.site
+    consensus_offset = kernel_new_pos - site.start
+    ref_pos, cigar = realigned_read_placement(
+        window.indels[best_cons], site.start, consensus_offset, len(read)
+    )
+    return read.realigned(ref_pos, cigar)

@@ -1,0 +1,44 @@
+"""Workloads: the per-chromosome target census and site generators.
+
+The paper evaluates on chromosomes 1-22 of NA12878 at 60-65x coverage.
+Without that dataset, the reproduction uses:
+
+- :mod:`repro.workloads.chromosomes` -- a per-chromosome *census* of IR
+  targets anchored to the two counts the paper reports (Ch21 > 48,000
+  targets; Ch2 > 320,000) and GRCh37 contig lengths;
+- :mod:`repro.workloads.generator` -- a synthetic site generator whose
+  shape distributions follow the paper's stated ranges ("a typical locus
+  can contain 2-32 consensuses and 10-256 reads"), at full-scale and
+  bench-scale profiles;
+- :mod:`repro.workloads.toy` -- the 8-target toy workload of Figure 7.
+"""
+
+from repro.workloads.chromosomes import (
+    CHROMOSOME_CENSUS,
+    ChromosomeCensus,
+    census_for,
+    total_targets,
+)
+from repro.workloads.generator import (
+    BENCH_PROFILE,
+    REAL_PROFILE,
+    SiteProfile,
+    chromosome_workload,
+    expected_comparisons_per_site,
+    synthesize_site,
+)
+from repro.workloads.toy import figure7_toy_targets
+
+__all__ = [
+    "BENCH_PROFILE",
+    "CHROMOSOME_CENSUS",
+    "ChromosomeCensus",
+    "REAL_PROFILE",
+    "SiteProfile",
+    "census_for",
+    "chromosome_workload",
+    "expected_comparisons_per_site",
+    "figure7_toy_targets",
+    "synthesize_site",
+    "total_targets",
+]

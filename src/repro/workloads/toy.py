@@ -1,0 +1,88 @@
+"""The Figure 7 toy workload.
+
+"We ran a toy experiment to illustrate the effectiveness of the
+synchronous-parallel scheme. In this experiment, we used 8 same-sized
+INDEL realignment targets that contain 2 consensuses and 8 reads each
+(stripped down from real targets in Ch22). ... Notice that the compute
+time for target 3 is about 8 times longer than the compute time of
+target 1, resulting in 3 out of 4 units idling for a majority of the
+total runtime."
+
+The eight targets here are *structurally identical* (2 consensuses,
+8 reads, same lengths); the ~8x compute variance between them comes
+entirely from computation pruning, exactly as in the paper: a target
+whose reads match the consensus near offset 0 establishes a tiny running
+minimum immediately and prunes every later offset within a few bases,
+while a target whose reads only match near the last offset must grind
+through almost the full scan.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.genomics.quality import clamp_phred
+from repro.realign.site import RealignmentSite
+
+_BASE_CODES = np.frombuffer(b"ACGT", dtype=np.uint8)
+
+#: Figure 7 geometry: 8 targets x (2 consensuses, 8 reads).
+NUM_TARGETS = 8
+NUM_CONSENSUSES = 2
+NUM_READS = 8
+READ_LENGTH = 48
+CONSENSUS_LENGTH = 480
+
+
+def _random_bases(rng: np.random.Generator, length: int) -> np.ndarray:
+    return _BASE_CODES[rng.integers(0, 4, size=length)]
+
+
+def _toy_target(rng: np.random.Generator, match_offset_fraction: float,
+                index: int) -> RealignmentSite:
+    """One same-sized toy target whose reads match at a chosen offset.
+
+    ``match_offset_fraction`` in [0, 1] places the reads' true home along
+    the consensus: near 0.0 the pruning minimum locks in immediately
+    (fast target), near 1.0 the scan stays unpruned for most offsets
+    (slow target).
+    """
+    reference = _random_bases(rng, CONSENSUS_LENGTH)
+    # One alternate consensus: a small deletion somewhere mid-window.
+    del_pos = CONSENSUS_LENGTH // 2
+    alternate = np.concatenate([reference[:del_pos], reference[del_pos + 4:]])
+    offset = int(match_offset_fraction * (CONSENSUS_LENGTH - READ_LENGTH - 1))
+    reads = []
+    quals = []
+    for j in range(NUM_READS):
+        jitter = min(offset + j, CONSENSUS_LENGTH - READ_LENGTH)
+        bases = reference[jitter : jitter + READ_LENGTH].copy()
+        reads.append(bytes(bases).decode("ascii"))
+        quals.append(clamp_phred(np.full(READ_LENGTH, 30)))
+    return RealignmentSite(
+        chrom="22",
+        start=10_000 + index * 2_000,
+        consensuses=(
+            bytes(reference).decode("ascii"),
+            bytes(alternate).decode("ascii"),
+        ),
+        reads=tuple(reads),
+        quals=tuple(quals),
+    )
+
+
+def figure7_toy_targets(seed: int = 22) -> List[RealignmentSite]:
+    """The eight Figure 7 targets, fast and slow interleaved.
+
+    Targets 0-2 and 4-7 are fast (reads match early); target 3 is the
+    slow one the paper calls out ("the compute time for target 3 is
+    about 8 times longer than the compute time of target 1").
+    """
+    rng = np.random.default_rng(seed)
+    fractions = [0.05, 0.02, 0.30, 0.72, 0.10, 0.45, 0.05, 0.20]
+    return [
+        _toy_target(rng, fraction, index)
+        for index, fraction in enumerate(fractions)
+    ]

@@ -1,0 +1,110 @@
+"""Workload traces: serialize site workloads for replay.
+
+Benchmarks regenerate workloads from seeds, but cross-machine and
+cross-version comparisons want the *exact* sites on disk. A trace is a
+JSON document carrying every site's consensuses, reads, and quality
+scores plus provenance metadata; replaying a trace reproduces kernel
+results and cycle counts bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, TextIO, Union
+
+import numpy as np
+
+from repro.realign.site import RealignmentSite, SiteLimits
+
+PathOrFile = Union[str, Path, TextIO]
+
+#: Format version, bumped on schema changes.
+TRACE_VERSION = 1
+
+
+class TraceError(ValueError):
+    """Raised for malformed or incompatible trace documents."""
+
+
+def _site_to_dict(site: RealignmentSite) -> Dict:
+    return {
+        "chrom": site.chrom,
+        "start": site.start,
+        "consensuses": list(site.consensuses),
+        "reads": list(site.reads),
+        "quals": [qual.tolist() for qual in site.quals],
+    }
+
+
+def _site_from_dict(record: Dict, limits: SiteLimits) -> RealignmentSite:
+    try:
+        return RealignmentSite(
+            chrom=record["chrom"],
+            start=int(record["start"]),
+            consensuses=tuple(record["consensuses"]),
+            reads=tuple(record["reads"]),
+            quals=tuple(
+                np.array(qual, dtype=np.uint8) for qual in record["quals"]
+            ),
+            limits=limits,
+        )
+    except KeyError as exc:
+        raise TraceError(f"trace site missing field {exc}") from None
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A replayable workload with provenance."""
+
+    sites: List[RealignmentSite]
+    description: str = ""
+    seed: Optional[int] = None
+
+    def total_unpruned_comparisons(self) -> int:
+        return sum(site.unpruned_comparisons() for site in self.sites)
+
+
+def save_trace(trace: WorkloadTrace, sink: PathOrFile) -> None:
+    """Write a trace as JSON."""
+    document = {
+        "version": TRACE_VERSION,
+        "description": trace.description,
+        "seed": trace.seed,
+        "num_sites": len(trace.sites),
+        "sites": [_site_to_dict(site) for site in trace.sites],
+    }
+    if isinstance(sink, (str, Path)):
+        with open(sink, "w") as handle:
+            json.dump(document, handle)
+    else:
+        json.dump(document, sink)
+
+
+def load_trace(source: PathOrFile,
+               limits: SiteLimits = SiteLimits()) -> WorkloadTrace:
+    """Load and validate a trace document."""
+    if isinstance(source, (str, Path)):
+        with open(source) as handle:
+            document = json.load(handle)
+    else:
+        document = json.load(source)
+    if not isinstance(document, dict):
+        raise TraceError("trace root must be a JSON object")
+    if document.get("version") != TRACE_VERSION:
+        raise TraceError(
+            f"unsupported trace version {document.get('version')!r}"
+        )
+    sites = [_site_from_dict(record, limits)
+             for record in document.get("sites", [])]
+    if len(sites) != document.get("num_sites"):
+        raise TraceError(
+            f"trace claims {document.get('num_sites')} sites, "
+            f"carries {len(sites)}"
+        )
+    return WorkloadTrace(
+        sites=sites,
+        description=document.get("description", ""),
+        seed=document.get("seed"),
+    )

@@ -1,0 +1,126 @@
+"""Unit tests for the de Bruijn-graph assembly extension."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.cigar import Cigar, CigarOp
+from repro.genomics.read import Read
+from repro.genomics.reference import Contig, ReferenceGenome
+from repro.genomics.sequence import random_bases
+from repro.realign.assembly import (
+    AssemblyConfig,
+    DeBruijnGraph,
+    assemble_haplotypes,
+    build_site_by_assembly,
+)
+from repro.realign.realigner import IndelRealigner
+from repro.realign.targets import RealignmentTarget
+
+
+def full_quals(n):
+    return np.full(n, 30, np.uint8)
+
+
+class TestDeBruijnGraph:
+    def test_single_sequence_single_path(self):
+        graph = DeBruijnGraph(4)
+        graph.add_sequence("ACGTACCC", is_reference=True)
+        haplotypes = graph.enumerate_haplotypes("ACG", "CCC", 4, 100)
+        assert haplotypes == ["ACGTACCC"]
+
+    def test_bubble_yields_two_haplotypes(self):
+        graph = DeBruijnGraph(4)
+        graph.add_sequence("AAATCGGGCTTT", is_reference=True)
+        graph.add_sequence("AAATCAGCTTT")  # one-base divergence bubble
+        haplotypes = graph.enumerate_haplotypes("AAA", "TTT", 4, 100)
+        assert "AAATCGGGCTTT" in haplotypes
+        assert len(haplotypes) >= 2
+
+    def test_prune_keeps_reference_edges(self):
+        graph = DeBruijnGraph(4)
+        graph.add_sequence("AAATCGGGCTTT", is_reference=True)
+        graph.add_sequence("AAATCAGCTTT")  # weight-1 alternate
+        graph.prune(min_weight=2)
+        haplotypes = graph.enumerate_haplotypes("AAA", "TTT", 4, 100)
+        assert haplotypes == ["AAATCGGGCTTT"]
+
+    def test_missing_anchor_returns_empty(self):
+        graph = DeBruijnGraph(4)
+        graph.add_sequence("ACGTACGT")
+        assert graph.enumerate_haplotypes("TTT", "GGG", 4, 100) == []
+
+    def test_kmer_size_validation(self):
+        with pytest.raises(ValueError):
+            DeBruijnGraph(2)
+        with pytest.raises(ValueError):
+            AssemblyConfig(kmer_size=2)
+
+
+@pytest.fixture
+def deletion_scenario():
+    rng = np.random.default_rng(15)
+    ref_seq = random_bases(2_000, rng)
+    reference = ReferenceGenome([Contig("c", ref_seq)])
+    donor = ref_seq[:1000] + ref_seq[1005:]
+    reads = []
+    L = 80
+    for i, start in enumerate(range(940, 1000, 5)):
+        seq = donor[start : start + L]
+        k = 1000 - start
+        if i % 2 == 0:
+            cigar = Cigar.parse(f"{k}M5D{L - k}M")
+        else:
+            cigar = Cigar.parse(f"{L}M")
+        reads.append(Read(f"r{i}", "c", start, seq, full_quals(L), cigar))
+    return reference, ref_seq, reads
+
+
+class TestAssembly:
+    def test_assembles_deletion_haplotype(self, deletion_scenario):
+        reference, ref_seq, reads = deletion_scenario
+        window = reference.fetch("c", 850, 1150)
+        haplotypes = assemble_haplotypes(window, reads)
+        donor_window = ref_seq[850:1000] + ref_seq[1005:1150]
+        assert window in haplotypes or any(
+            len(h) == len(window) for h in haplotypes
+        )
+        assert donor_window in haplotypes
+
+    def test_build_site_by_assembly(self, deletion_scenario):
+        reference, _ref_seq, reads = deletion_scenario
+        target = RealignmentTarget("c", 950, 1100)
+        built = build_site_by_assembly(target, reads, reference)
+        assert built is not None
+        assert built.site.num_consensuses >= 2
+        deletion_indels = [
+            i for i in built.indels[1:]
+            if i is not None and i.op is CigarOp.DELETION and i.length == 5
+        ]
+        assert deletion_indels
+        assert deletion_indels[0].ref_pos == 1000
+
+    def test_realigner_with_assembly_strategy(self, deletion_scenario):
+        reference, ref_seq, reads = deletion_scenario
+        realigner = IndelRealigner(reference, consensus_strategy="assembly")
+        updated, report = realigner.realign(reads)
+        assert report.reads_realigned > 0
+        for orig, new in zip(reads, updated):
+            if not orig.has_indel:
+                k = 1000 - orig.pos
+                assert str(new.cigar) == f"{k}M5D{80 - k}M"
+
+    def test_strategies_agree_on_simple_scenario(self, deletion_scenario):
+        reference, _ref_seq, reads = deletion_scenario
+        observed, _ = IndelRealigner(
+            reference, consensus_strategy="observed"
+        ).realign(reads)
+        assembled, _ = IndelRealigner(
+            reference, consensus_strategy="assembly"
+        ).realign(reads)
+        for a, b in zip(observed, assembled):
+            assert a.pos == b.pos and str(a.cigar) == str(b.cigar)
+
+    def test_unknown_strategy_rejected(self, deletion_scenario):
+        reference, _ref_seq, _reads = deletion_scenario
+        with pytest.raises(ValueError):
+            IndelRealigner(reference, consensus_strategy="magic")

@@ -1,0 +1,71 @@
+"""End-to-end integration: FASTQ -> alignment -> refinement -> calls."""
+
+import numpy as np
+import pytest
+
+from repro.align.seed_extend import SeedAndExtendAligner
+from repro.core.system import SystemConfig
+from repro.genomics.fastq import FastqRecord
+from repro.genomics.reference import ReferenceGenome
+from repro.genomics.simulate import ReadSimulator, SimulationProfile
+from repro.refinement.pipeline import RefinementPipeline
+from repro.variants.caller import SomaticCaller
+from repro.variants.evaluation import evaluate_calls
+
+
+@pytest.fixture(scope="module")
+def flow():
+    rng = np.random.default_rng(33)
+    reference = ReferenceGenome.random({"chr20": 2_500}, rng)
+    profile = SimulationProfile(
+        read_length=80, coverage=20, indel_rate=2e-3, snp_rate=1e-3,
+        hotspot_mass=0.0, base_error_rate=0.002,
+    )
+    sample = ReadSimulator(reference, profile, seed=34).simulate()
+    records = [FastqRecord(r.name, r.seq, r.quals) for r in sample.reads]
+    aligner = SeedAndExtendAligner(reference)
+    aligned = aligner.align(records)
+    return reference, sample, aligned, aligner
+
+
+class TestPrimaryAlignment:
+    def test_most_reads_map_to_true_positions(self, flow):
+        reference, sample, aligned, _ = flow
+        truth_pos = {read.name: read.pos for read in sample.reads}
+        mapped = [read for read in aligned if read.is_mapped]
+        assert len(mapped) / len(aligned) > 0.95
+        close = sum(
+            1 for read in mapped
+            if abs(read.pos - truth_pos[read.name]) <= 12
+        )
+        assert close / len(mapped) > 0.9
+
+    def test_stage_counters_populated(self, flow):
+        _, _, _, aligner = flow
+        stats = aligner.stats
+        assert stats.reads_total == stats.reads_aligned + (
+            stats.reads_total - stats.reads_aligned
+        )
+        assert stats.dp_cells > 0
+        assert stats.seed_hits > 0
+
+
+class TestFullFlow:
+    def test_refinement_then_calling(self, flow):
+        reference, sample, aligned, _ = flow
+        mapped = [read for read in aligned if read.is_mapped]
+        refined = RefinementPipeline(
+            reference, use_accelerator=True,
+            system_config=SystemConfig.iracc(),
+        ).run(mapped)
+        assert len(refined.reads) == len(mapped)
+        post = evaluate_calls(
+            SomaticCaller(reference).call(refined.reads),
+            sample.truth_variants,
+        )
+        pre = evaluate_calls(
+            SomaticCaller(reference).call(mapped), sample.truth_variants
+        )
+        # Refinement never hurts, and the pipeline finds most variants.
+        assert post.f1 >= pre.f1 - 0.02
+        assert post.recall > 0.5

@@ -1,0 +1,146 @@
+"""Integration tests for the experiment harness (paper tables/figures)."""
+
+import pytest
+
+from repro.experiments import (
+    comparisons,
+    figure2,
+    figure3,
+    figure4,
+    figure7,
+    figure9,
+    microarch,
+    tables,
+)
+from repro.experiments.reporting import banner, format_table
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xyz", 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_banner(self):
+        assert "Figure" in banner("Figure X")
+
+
+class TestFigure4:
+    def test_every_value_matches_paper(self):
+        outcome = figure4.run()
+        assert outcome.matches_paper
+        assert outcome.whd_ref_read0 == [85, 75, 30, 65]
+        assert outcome.whd_ref_read1 == [20, 80, 120, 120]
+        assert outcome.result.scores.tolist() == [0, 30, 35]
+
+
+class TestFigure7:
+    def test_toy_experiment(self):
+        outcome = figure7.run()
+        assert 6.0 <= outcome.t3_over_t1 <= 10.0  # paper: ~8x
+        assert outcome.async_speedup > 1.3
+        assert outcome.async_.utilization > outcome.sync.utilization
+        assert len(outcome.sync.spans) == 8
+
+
+class TestFigure2:
+    def test_model_shares(self):
+        outcome = figure2.run(execute_pipeline=False)
+        assert outcome.pipeline_shares["primary_alignment"] < 0.15
+        assert 0.55 < outcome.pipeline_shares["alignment_refinement"] < 0.62
+        assert outcome.ir_total_share == pytest.approx(0.334, abs=0.01)
+
+    def test_executed_pipeline_ir_dominates_refinement(self):
+        outcome = figure2.run(execute_pipeline=True, seed=3)
+        assert outcome.measured is not None
+        # IR is the largest refinement stage in the executed pipeline too.
+        fractions = {
+            stage.stage: outcome.measured.fraction(stage.stage)
+            for stage in outcome.measured.stages
+        }
+        assert fractions["indel_realignment"] == max(fractions.values())
+
+
+class TestFigure3:
+    def test_average_and_range(self):
+        outcome = figure3.run()
+        assert outcome.average == pytest.approx(0.58, abs=0.005)
+        assert 0.40 < outcome.minimum < outcome.maximum < 0.72
+        assert len(outcome.rows) == 22
+
+
+class TestTables:
+    def test_table1_roundtrip_and_counts(self):
+        outcome = tables.run_table1()
+        assert outcome.roundtrip_ok
+        assert len(outcome.commands) == 5
+        assert outcome.commands_for_32_consensuses == 40
+
+    def test_table2(self):
+        outcome = tables.run_table2()
+        assert outcome.f1.name == "f1.2xlarge"
+        assert outcome.r3.name == "r3.2xlarge"
+
+
+class TestFigure9Small:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        # A reduced run: two chromosomes, all design points.
+        return figure9.run(
+            sites_per_chromosome=24, replication=16,
+            chromosomes=("2", "21"), design_subset=("2", "21"),
+        )
+
+    def test_iracc_wins_by_a_large_factor(self, outcome):
+        assert all(row.iracc_speedup > 20 for row in outcome.rows)
+
+    def test_design_point_ordering(self, outcome):
+        for row in outcome.rows:
+            taskp = row.speedup("IRAcc-TaskP")
+            async_ = row.speedup("IRAcc-TaskP-Async")
+            iracc = row.iracc_speedup
+            assert taskp < async_ < iracc
+            hls = row.speedup("HLS-SDAccel")
+            assert taskp < hls < iracc
+
+    def test_adam_between_gatk3_and_iracc(self, outcome):
+        for row in outcome.rows:
+            assert row.gatk3_seconds > row.adam_seconds
+            assert row.adam_speedup < row.iracc_speedup
+
+    def test_costs_reproduce_paper_bars(self, outcome):
+        costs = outcome.costs
+        assert costs["GATK3"].dollars == pytest.approx(28.0, rel=0.01)
+        assert costs["ADAM"].dollars == pytest.approx(14.5, rel=0.02)
+        # IR ACC lands within a factor ~2 of the 90-cent bar even on the
+        # reduced workload.
+        assert costs["IR ACC"].dollars < 2.0
+
+
+class TestMicroarch:
+    def test_claims(self):
+        outcome = microarch.run(num_sites=24, replication=8)
+        assert outcome.pruned_fraction > 0.50  # paper: "> 50%"
+        assert outcome.datapath_pruned_fraction > 0.25
+        assert outcome.fitted_units == 32
+        assert outcome.utilization32.bram_utilization == pytest.approx(
+            0.876, abs=0.01
+        )
+        assert outcome.peak_comparisons_per_second == pytest.approx(4e9)
+        assert outcome.dma_fraction < 0.05
+
+
+class TestComparisons:
+    def test_survey_and_requirement(self):
+        outcome = comparisons.run(sites_per_chromosome=16, replication=8,
+                                  chromosomes=("21",))
+        assert outcome.gpu_required == pytest.approx(148.36, abs=0.01)
+        assert outcome.gpu_survey_best < 20
+        assert all(s > 10 for s in outcome.adam_speedups)
+        lo, hi = outcome.hls_range
+        assert 0.5 < lo <= hi < 8.0

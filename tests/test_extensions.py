@@ -1,0 +1,102 @@
+"""Tests for the extension features: known sites, industry comparison, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.industry import (
+    RELATED_SYSTEMS,
+    amdahl_ceiling,
+    whole_analysis_advantage,
+)
+from repro.genomics.cigar import Cigar
+from repro.genomics.read import Read
+from repro.genomics.reference import Contig, ReferenceGenome
+from repro.genomics.sequence import random_bases
+from repro.genomics.variants import Variant
+from repro.realign.targets import TargetCreatorConfig, identify_targets
+from repro.__main__ import build_parser, main as cli_main
+
+
+class TestKnownSites:
+    @pytest.fixture
+    def reference(self):
+        rng = np.random.default_rng(55)
+        return ReferenceGenome([Contig("1", random_bases(5_000, rng))])
+
+    def test_known_site_seeds_target_without_read_evidence(self, reference):
+        # All carriers misaligned gap-free: no CIGAR evidence at all.
+        seq = reference.fetch("1", 1000, 1080)
+        reads = [Read(f"r{i}", "1", 1000, seq, np.full(80, 30, np.uint8),
+                      Cigar.parse("80M")) for i in range(3)]
+        config = TargetCreatorConfig(use_mismatch_clusters=False)
+        assert identify_targets(reads, reference, config) == []
+        known = [Variant("1", 1_040, reference.fetch("1", 1040, 1043),
+                         reference.fetch("1", 1040, 1041))]
+        targets = identify_targets(reads, reference, config,
+                                   known_sites=known)
+        assert len(targets) == 1
+        assert targets[0].start <= 1_040 < targets[0].end
+
+    def test_known_site_as_tuple(self, reference):
+        config = TargetCreatorConfig(use_mismatch_clusters=False)
+        targets = identify_targets([], reference, config,
+                                   known_sites=[("1", 2_000)])
+        assert len(targets) == 1
+
+    def test_known_site_outside_reference_ignored(self, reference):
+        config = TargetCreatorConfig(use_mismatch_clusters=False)
+        assert identify_targets([], reference, config,
+                                known_sites=[("9", 10), ("1", 10**9)]) == []
+
+
+class TestIndustryComparison:
+    def test_amdahl_ceilings(self):
+        bounds = whole_analysis_advantage()
+        # Infinite Smith-Waterman speedup buys ~5%; IR buys up to 52%.
+        assert bounds["smith_waterman"] == pytest.approx(1 / 0.95)
+        assert bounds["indel_realignment"] == pytest.approx(1 / 0.66)
+        assert 1.4 < bounds["indel_realignment_at_81x"] < 1.52
+        assert bounds["indel_realignment"] > bounds["primary_alignment"] \
+            > bounds["smith_waterman"]
+
+    def test_amdahl_validation(self):
+        with pytest.raises(ValueError):
+            amdahl_ceiling(0.0)
+        with pytest.raises(ValueError):
+            amdahl_ceiling(0.5, 0)
+
+    def test_related_systems_include_dragen_and_this_work(self):
+        names = {s.name for s in RELATED_SYSTEMS}
+        assert "DRAGEN" in names
+        assert any("IR ACC" in n for n in names)
+
+
+class TestCli:
+    def test_parser_knows_every_experiment(self):
+        parser = build_parser()
+        for command in ("figure2", "figure3", "figure4", "figure7",
+                        "figure9", "tables", "microarch", "all"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_simulate_and_realign_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "sample"
+        assert cli_main([
+            "simulate", "--out", str(out), "--length", "8000",
+            "--seed", "2", "--coverage", "15",
+        ]) == 0
+        assert (out / "reference.fa").exists()
+        assert (out / "aligned.sam").exists()
+        assert (out / "truth.txt").exists()
+        assert cli_main([
+            "realign", "--reference", str(out / "reference.fa"),
+            "--sam", str(out / "aligned.sam"),
+            "--out", str(out / "realigned.sam"),
+        ]) == 0
+        captured = capsys.readouterr().out
+        assert "reads realigned" in captured
+        assert (out / "realigned.sam").exists()
+
+    def test_figure4_command(self, capsys):
+        assert cli_main(["figure4"]) == 0
+        assert "all figure values match: True" in capsys.readouterr().out

@@ -1,0 +1,98 @@
+"""Unit and property tests for the FM-index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.fmindex import FMIndex
+from repro.align.suffix_array import SuffixArray
+from repro.genomics.sequence import random_bases
+
+texts = st.text(alphabet="ACGT", min_size=1, max_size=80)
+patterns = st.text(alphabet="ACGT", min_size=1, max_size=6)
+
+
+class TestConstruction:
+    def test_bwt_of_known_text(self):
+        # Classic example: BWT("banana$") = "annb$aa"; for DNA we check
+        # structural invariants instead of a literary constant.
+        index = FMIndex.build("ACGTACGT")
+        assert len(index.bwt) == 9  # text + sentinel
+        assert sorted(index.bwt) == sorted("ACGTACGT$")
+        assert index.bwt.count("$") == 1
+
+    def test_char_starts_ordered(self):
+        index = FMIndex.build("GATTACA")
+        starts = index.char_starts
+        assert starts["$"] == 0
+        ordered = sorted(starts.items(), key=lambda kv: kv[1])
+        assert [c for c, _ in ordered] == sorted(starts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FMIndex.build("")
+        with pytest.raises(ValueError):
+            FMIndex.build("AC$GT")
+        with pytest.raises(ValueError):
+            FMIndex.build("ACGT", sample_rate=0)
+
+
+class TestQueries:
+    def test_count_and_find(self):
+        index = FMIndex.build("ACGTACGTAC")
+        assert index.count("AC") == 3
+        assert index.find("AC") == [0, 4, 8]
+        assert index.find("GGT") == []
+        assert index.count("ACGTACGTAC") == 1
+
+    def test_rank_consistency(self):
+        index = FMIndex.build(random_bases(200, np.random.default_rng(1)),
+                              sample_rate=7)
+        for char in "ACGT":
+            naive = 0
+            for position in range(len(index.bwt) + 1):
+                assert index.rank(char, position) == naive
+                if position < len(index.bwt) and index.bwt[position] == char:
+                    naive += 1
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            FMIndex.build("ACGT").find("")
+
+    @given(texts, patterns)
+    @settings(max_examples=50, deadline=None)
+    def test_matches_suffix_array(self, text, pattern):
+        fm = FMIndex.build(text, sample_rate=4)
+        sa = SuffixArray.build(text)
+        assert fm.find(pattern) == sa.find(pattern)
+
+    @given(texts)
+    @settings(max_examples=30, deadline=None)
+    def test_every_substring_found(self, text):
+        fm = FMIndex.build(text)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            start = int(rng.integers(0, len(text)))
+            end = int(rng.integers(start + 1, len(text) + 1))
+            assert start in fm.find(text[start:end])
+
+
+class TestSuffixMatch:
+    def test_full_suffix_present(self):
+        index = FMIndex.build("ACGTACGT")
+        length, occurrences = index.longest_suffix_match("TACGT")
+        assert length == 5
+        assert occurrences == 1
+
+    def test_partial_suffix(self):
+        index = FMIndex.build("AAAACCCC")
+        # Query suffix "GCC": "G" never extends, "CC" does.
+        length, occurrences = index.longest_suffix_match("GCC")
+        assert length == 2
+        assert occurrences == 3  # "CC" occurs at 4, 5, 6
+
+    def test_no_match(self):
+        index = FMIndex.build("AAAA")
+        assert index.longest_suffix_match("G") == (0, 0)
+        assert index.longest_suffix_match("") == (0, 0)

@@ -1,0 +1,139 @@
+"""Unit and property tests for the Hamming Distance Calculator.
+
+The load-bearing invariant of the whole evaluation: the cycle-stepped
+datapath and the vectorized closed form agree on outputs, cycles, and
+comparison counts, for every lane width and with pruning on or off.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hdc import (
+    OFFSET_OVERHEAD_CYCLES,
+    PAIR_OVERHEAD_CYCLES,
+    HammingDistanceCalculator,
+    PairComputation,
+)
+from repro.genomics.sequence import seq_to_array
+from repro.realign.whd import min_whd_pair
+
+
+def pair_inputs(draw, max_m=40):
+    n = draw(st.integers(1, 16))
+    m = draw(st.integers(n, max_m))
+    cons = draw(st.text(alphabet="ACGT", min_size=m, max_size=m))
+    read = draw(st.text(alphabet="ACGT", min_size=n, max_size=n))
+    quals = np.array(
+        draw(st.lists(st.integers(0, 60), min_size=n, max_size=n)),
+        dtype=np.uint8,
+    )
+    return seq_to_array(cons), seq_to_array(read), quals, cons, read
+
+
+class TestSteppedVsAnalytic:
+    @given(st.data(), st.sampled_from([1, 4, 32]), st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_bit_identical(self, data, lanes, prune):
+        cons, read, quals, _, _ = pair_inputs(data.draw)
+        hdc = HammingDistanceCalculator(lanes=lanes, prune=prune)
+        stepped = hdc.compute_pair_stepped(cons, read, quals)
+        analytic = hdc.compute_pair(cons, read, quals)
+        assert stepped == analytic
+
+
+class TestFunctionalCorrectness:
+    @given(st.data(), st.sampled_from([1, 8, 32]), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_algorithm1(self, data, lanes, prune):
+        cons, read, quals, cons_s, read_s = pair_inputs(data.draw)
+        hdc = HammingDistanceCalculator(lanes=lanes, prune=prune)
+        result = hdc.compute_pair(cons, read, quals)
+        expected_whd, expected_idx = min_whd_pair(cons_s, read_s, quals)
+        assert result.min_whd == expected_whd
+        assert result.min_whd_idx == expected_idx
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_pruning_never_changes_outputs(self, data):
+        cons, read, quals, _, _ = pair_inputs(data.draw)
+        pruned = HammingDistanceCalculator(lanes=1, prune=True).compute_pair(
+            cons, read, quals
+        )
+        unpruned = HammingDistanceCalculator(lanes=1, prune=False).compute_pair(
+            cons, read, quals
+        )
+        assert pruned.min_whd == unpruned.min_whd
+        assert pruned.min_whd_idx == unpruned.min_whd_idx
+
+
+class TestWorkAccounting:
+    @given(st.data(), st.sampled_from([1, 32]))
+    @settings(max_examples=40, deadline=None)
+    def test_pruned_work_bounded_by_unpruned(self, data, lanes):
+        cons, read, quals, _, _ = pair_inputs(data.draw)
+        hdc = HammingDistanceCalculator(lanes=lanes, prune=True)
+        result = hdc.compute_pair(cons, read, quals)
+        assert 0 < result.comparisons <= result.unpruned_comparisons
+        assert 0.0 <= result.pruned_fraction < 1.0
+
+    def test_unpruned_cycle_formula_scalar(self):
+        cons = seq_to_array("ACGTACGTAC")  # m = 10
+        read = seq_to_array("ACGT")  # n = 4, K = 7
+        quals = np.full(4, 30, np.uint8)
+        hdc = HammingDistanceCalculator(lanes=1, prune=False)
+        result = hdc.compute_pair(cons, read, quals)
+        assert result.comparisons == 7 * 4
+        assert result.cycles == 7 * 4 + 7 * OFFSET_OVERHEAD_CYCLES + \
+            PAIR_OVERHEAD_CYCLES
+
+    def test_unpruned_cycle_formula_parallel(self):
+        cons = seq_to_array("ACGT" * 20)  # m = 80
+        read = seq_to_array("ACGT" * 10)  # n = 40, K = 41
+        quals = np.full(40, 30, np.uint8)
+        hdc = HammingDistanceCalculator(lanes=32, prune=False)
+        result = hdc.compute_pair(cons, read, quals)
+        # ceil(40 / 32) = 2 chunks per offset.
+        assert result.cycles == 41 * 2 + 41 * OFFSET_OVERHEAD_CYCLES + \
+            PAIR_OVERHEAD_CYCLES
+
+    def test_pruning_reduces_work_on_clean_pileup(self):
+        # A read matching at offset 0 prunes nearly everything after.
+        rng = np.random.default_rng(3)
+        from repro.genomics.sequence import random_bases
+        cons_s = random_bases(400, rng)
+        read_s = cons_s[:64]
+        quals = np.full(64, 35, np.uint8)
+        hdc = HammingDistanceCalculator(lanes=1, prune=True)
+        result = hdc.compute_pair(seq_to_array(cons_s), seq_to_array(read_s),
+                                  quals)
+        assert result.pruned_fraction > 0.9
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_wider_lanes_never_more_cycles(self, data):
+        cons, read, quals, _, _ = pair_inputs(data.draw)
+        narrow = HammingDistanceCalculator(lanes=1, prune=True).compute_pair(
+            cons, read, quals
+        )
+        wide = HammingDistanceCalculator(lanes=32, prune=True).compute_pair(
+            cons, read, quals
+        )
+        assert wide.cycles <= narrow.cycles
+
+
+class TestValidation:
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            HammingDistanceCalculator(lanes=0)
+
+    def test_read_longer_than_consensus_rejected(self):
+        hdc = HammingDistanceCalculator()
+        with pytest.raises(ValueError):
+            hdc.compute_pair(seq_to_array("AC"), seq_to_array("ACGT"),
+                             np.full(4, 1, np.uint8))
+
+    def test_pruned_fraction_zero_division(self):
+        pc = PairComputation(0, 0, 1, 0, 0)
+        assert pc.pruned_fraction == 0.0

@@ -1,0 +1,115 @@
+"""Unit tests for the RoCC instruction set (Table I)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.isa import (
+    IR_OPCODE,
+    BufferId,
+    IrFunct,
+    IsaError,
+    RoccCommand,
+    commands_per_target,
+    decode_instruction,
+    encode_instruction,
+    ir_set_addr,
+    ir_set_len,
+    ir_set_size,
+    ir_set_target,
+    ir_start,
+    target_command_stream,
+)
+from repro.realign.site import RealignmentSite
+
+
+class TestEncoding:
+    def test_opcode_in_low_bits(self):
+        word = encode_instruction(ir_start(0))
+        assert word & 0x7F == IR_OPCODE
+
+    def test_funct_in_high_bits(self):
+        word = encode_instruction(ir_set_size(0, 4, 16))
+        assert (word >> 25) & 0x7F == IrFunct.SET_SIZE
+
+    def test_unit_id_in_dest_field(self):
+        word = encode_instruction(ir_start(13))
+        assert (word >> 7) & 0x1F == 13
+
+    def test_xd_only_on_start(self):
+        assert ir_start(0).xd
+        assert not ir_set_addr(0, BufferId.READ_BASES, 0).xd
+
+    @given(st.sampled_from(list(IrFunct)), st.integers(0, 31),
+           st.integers(0, 1 << 30), st.integers(0, 1 << 30),
+           st.booleans(), st.booleans(), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, funct, unit, rs1, rs2, xs1, xs2, xd):
+        command = RoccCommand(funct=funct, unit_id=unit, rs1_value=rs1,
+                              rs2_value=rs2, xs1=xs1, xs2=xs2, xd=xd)
+        decoded = decode_instruction(encode_instruction(command), rs1, rs2)
+        assert decoded == command
+
+    def test_decode_rejects_wrong_opcode(self):
+        with pytest.raises(IsaError):
+            decode_instruction(0b0110011)
+
+    def test_decode_rejects_unknown_funct(self):
+        word = (99 << 25) | IR_OPCODE
+        with pytest.raises(IsaError):
+            decode_instruction(word)
+
+    def test_decode_rejects_oversized_word(self):
+        with pytest.raises(IsaError):
+            decode_instruction(1 << 40)
+
+
+class TestCommandBuilders:
+    def test_set_addr_carries_buffer_and_address(self):
+        cmd = ir_set_addr(2, BufferId.OUT_POSITIONS, 0xBEEF)
+        assert cmd.rs1_value == int(BufferId.OUT_POSITIONS)
+        assert cmd.rs2_value == 0xBEEF
+
+    def test_validation(self):
+        with pytest.raises(IsaError):
+            ir_set_addr(2, BufferId.READ_BASES, -1)
+        with pytest.raises(IsaError):
+            ir_set_size(0, 0, 4)
+        with pytest.raises(IsaError):
+            ir_set_len(0, 0, 0)
+        with pytest.raises(IsaError):
+            ir_set_target(0, -5)
+        with pytest.raises(IsaError):
+            RoccCommand(IrFunct.START, unit_id=40)
+
+
+class TestCommandStream:
+    def make_site(self, num_cons=3):
+        consensuses = tuple("ACGTACGT" + "A" * i for i in range(num_cons))
+        return RealignmentSite(
+            chrom="22", start=5_000, consensuses=consensuses,
+            reads=("ACGT",), quals=(np.full(4, 30, np.uint8),),
+        )
+
+    def test_stream_structure(self):
+        site = self.make_site(3)
+        addrs = {b: 64 * i for i, b in enumerate(BufferId)}
+        stream = target_command_stream(7, site, addrs)
+        # 5 addr + 1 target + 1 size + 3 len + 1 start.
+        assert len(stream) == 11
+        assert [c.funct for c in stream[:5]] == [IrFunct.SET_ADDR] * 5
+        assert stream[5].funct is IrFunct.SET_TARGET
+        assert stream[5].rs1_value == 5_000
+        assert stream[6].funct is IrFunct.SET_SIZE
+        assert (stream[6].rs1_value, stream[6].rs2_value) == (3, 1)
+        assert [c.funct for c in stream[7:10]] == [IrFunct.SET_LEN] * 3
+        assert stream[7].rs2_value == 8  # reference consensus length
+        assert stream[-1].funct is IrFunct.START
+        assert all(c.unit_id == 7 for c in stream)
+
+    def test_commands_per_target(self):
+        assert commands_per_target(1) == 9
+        assert commands_per_target(32) == 40
+        with pytest.raises(IsaError):
+            commands_per_target(0)

@@ -1,0 +1,83 @@
+"""Unit tests for the ASCII pileup renderer and the appendix experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import appendix
+from repro.genomics.cigar import Cigar
+from repro.genomics.pileup_view import PileupViewConfig, render_pileup
+from repro.genomics.read import Read
+from repro.genomics.reference import Contig, ReferenceGenome
+
+
+@pytest.fixture
+def reference():
+    return ReferenceGenome([Contig("1", "ACGTACGTACGTACGTACGT")])
+
+
+def make_read(name, pos, seq, cigar, reverse=False):
+    return Read(name, "1", pos, seq, np.full(len(seq), 30, np.uint8),
+                Cigar.parse(cigar), is_reverse=reverse)
+
+
+class TestRenderPileup:
+    def test_matching_read_renders_dots(self, reference):
+        read = make_read("r", 4, "ACGT", "4M")
+        art = render_pileup([read], reference, "1", 0, 12)
+        lines = art.splitlines()
+        assert lines[1] == "ACGTACGTACGT"
+        assert lines[2] == "    ....    "
+
+    def test_reverse_strand_renders_commas(self, reference):
+        read = make_read("r", 4, "ACGT", "4M", reverse=True)
+        art = render_pileup([read], reference, "1", 0, 12)
+        assert ",,,," in art.splitlines()[2]
+
+    def test_mismatch_shows_base(self, reference):
+        read = make_read("r", 0, "ATGT", "4M")
+        art = render_pileup([read], reference, "1", 0, 8)
+        assert art.splitlines()[2].startswith(".T..")
+
+    def test_deletion_renders_stars(self, reference):
+        read = make_read("r", 0, "ACAC", "2M2D2M")
+        art = render_pileup([read], reference, "1", 0, 8)
+        assert art.splitlines()[2].startswith("..**..")
+
+    def test_insertion_flag(self, reference):
+        read = make_read("r", 0, "ACTTGT", "2M2I2M")
+        art = render_pileup([read], reference, "1", 0, 8)
+        assert "+" in art.splitlines()[2]
+
+    def test_row_cap(self, reference):
+        reads = [make_read(f"r{i}", 0, "ACGT", "4M") for i in range(10)]
+        art = render_pileup(reads, reference, "1", 0, 8,
+                            PileupViewConfig(max_rows=3))
+        assert "more reads" in art
+
+    def test_window_validation(self, reference):
+        with pytest.raises(ValueError):
+            render_pileup([], reference, "1", 10, 5)
+
+    def test_names_column(self, reference):
+        read = make_read("myread", 0, "ACGT", "4M")
+        art = render_pileup([read], reference, "1", 0, 8,
+                            PileupViewConfig(show_names=True))
+        assert "myread" in art
+
+
+class TestAppendixExperiment:
+    def test_membership_and_cleanup(self):
+        outcome = appendix.run()
+        assert outcome.anchored_reads == outcome.spanning_reads
+        assert outcome.reads_realigned > 0
+        # Misaligned reads show mismatch letters before, none after.
+        before_body = "\n".join(outcome.before.splitlines()[2:])
+        after_body = "\n".join(outcome.after.splitlines()[2:])
+        assert any(c in "ACGT" for c in before_body)
+        assert not any(c in "ACGT" for c in after_body)
+
+    def test_glossary_covers_paper_terms(self):
+        terms = {term for term, _impl in appendix.GLOSSARY}
+        for expected in ("genomic read", "quality score", "consensus",
+                         "IR target / site"):
+            assert expected in terms

@@ -1,0 +1,75 @@
+"""Unit tests for repro.genomics.quality."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.genomics.quality import (
+    ILLUMINA_MAX_PHRED,
+    MAX_PHRED,
+    QualityError,
+    clamp_phred,
+    error_prob_to_phred,
+    phred_from_ascii,
+    phred_to_ascii,
+    phred_to_error_prob,
+)
+
+
+class TestAsciiCoding:
+    def test_known_values(self):
+        # '!' is Q0, 'I' is Q40 in Sanger Phred+33.
+        assert phred_to_ascii([0, 40]) == "!I"
+        assert phred_from_ascii("!I").tolist() == [0, 40]
+
+    def test_rejects_out_of_range_score(self):
+        with pytest.raises(QualityError):
+            phred_to_ascii([MAX_PHRED + 1])
+        with pytest.raises(QualityError):
+            phred_to_ascii([-1])
+
+    def test_rejects_out_of_range_character(self):
+        with pytest.raises(QualityError):
+            phred_from_ascii(" ")  # below '!'
+
+    @given(st.lists(st.integers(0, MAX_PHRED), max_size=100))
+    def test_roundtrip(self, scores):
+        decoded = phred_from_ascii(phred_to_ascii(scores))
+        assert decoded.tolist() == scores
+
+
+class TestProbabilities:
+    def test_q10_is_ten_percent(self):
+        assert phred_to_error_prob(10) == pytest.approx(0.1)
+
+    def test_q60_is_one_in_a_million(self):
+        assert phred_to_error_prob(60) == pytest.approx(1e-6)
+
+    def test_inverse(self):
+        assert error_prob_to_phred(0.001) == pytest.approx(30.0)
+
+    def test_negative_score_rejected(self):
+        with pytest.raises(QualityError):
+            phred_to_error_prob(-1)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(QualityError):
+            error_prob_to_phred(0.0)
+        with pytest.raises(QualityError):
+            error_prob_to_phred(1.5)
+
+    @given(st.integers(0, MAX_PHRED))
+    def test_prob_phred_roundtrip(self, score):
+        prob = phred_to_error_prob(score)
+        assert error_prob_to_phred(prob) == pytest.approx(score, abs=1e-9)
+
+
+class TestClamp:
+    def test_clamps_to_illumina_ceiling(self):
+        out = clamp_phred(np.array([-5, 0, 41, 99]))
+        assert out.tolist() == [0, 0, 41, ILLUMINA_MAX_PHRED]
+        assert out.dtype == np.uint8
+
+    def test_custom_ceiling(self):
+        assert clamp_phred(np.array([50]), ceiling=45).tolist() == [45]

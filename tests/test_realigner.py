@@ -1,0 +1,117 @@
+"""Integration tests for the software INDEL realigner."""
+
+import numpy as np
+import pytest
+
+from repro.align.pileup import pileup
+from repro.genomics.cigar import Cigar
+from repro.genomics.read import Read
+from repro.genomics.reference import Contig, ReferenceGenome
+from repro.genomics.sequence import random_bases
+from repro.realign.realigner import IndelRealigner
+
+
+def full_quals(n):
+    return np.full(n, 30, np.uint8)
+
+
+@pytest.fixture
+def deletion_scenario():
+    """A 5-base deletion at position 1500 with mixed alignments."""
+    rng = np.random.default_rng(5)
+    ref_seq = random_bases(3_000, rng)
+    reference = ReferenceGenome([Contig("c", ref_seq)])
+    donor = ref_seq[:1500] + ref_seq[1505:]
+    reads = []
+    L = 100
+    for i, start in enumerate(range(1405, 1500, 7)):
+        seq = donor[start : start + L]
+        k = 1500 - start
+        if i % 3 == 0:
+            cigar = Cigar.parse(f"{k}M5D{L - k}M")
+            reads.append(Read(f"ok{i}", "c", start, seq, full_quals(L), cigar))
+        else:
+            reads.append(Read(f"bad{i}", "c", start, seq, full_quals(L),
+                              Cigar.parse(f"{L}M")))
+    for i, start in enumerate(range(1300, 1700, 11)):
+        seq = ref_seq[start : start + L]
+        reads.append(Read(f"ref{i}", "c", start, seq, full_quals(L),
+                          Cigar.parse(f"{L}M")))
+    return reference, ref_seq, reads
+
+
+class TestDeletionRealignment:
+    def test_misaligned_reads_get_exact_placement(self, deletion_scenario):
+        reference, ref_seq, reads = deletion_scenario
+        updated, report = IndelRealigner(reference).realign(reads)
+        assert report.reads_realigned > 0
+        for orig, new in zip(reads, updated):
+            if orig.name.startswith("bad"):
+                k = 1500 - orig.pos
+                assert new.pos == orig.pos
+                assert str(new.cigar) == f"{k}M5D{100 - k}M"
+
+    def test_no_residual_mismatches(self, deletion_scenario):
+        reference, ref_seq, reads = deletion_scenario
+        updated, _ = IndelRealigner(reference).realign(reads)
+        columns = pileup(updated)
+        for (chrom, pos), column in columns.items():
+            assert all(base == ref_seq[pos] for base in column.bases), \
+                f"residual mismatch at {pos}"
+
+    def test_clean_reads_untouched(self, deletion_scenario):
+        reference, _ref_seq, reads = deletion_scenario
+        updated, _ = IndelRealigner(reference).realign(reads)
+        for orig, new in zip(reads, updated):
+            if orig.name.startswith("ref"):
+                assert new.pos == orig.pos
+                assert str(new.cigar) == str(orig.cigar)
+
+    def test_report_statistics(self, deletion_scenario):
+        reference, _ref_seq, reads = deletion_scenario
+        _, report = IndelRealigner(reference).realign(reads)
+        assert report.targets_identified >= 1
+        assert report.sites_built >= 1
+        assert report.reads_examined == len(reads)
+        assert report.unpruned_comparisons > 0
+        assert len(report.site_shapes) == report.sites_built
+        shape = report.site_shapes[0]
+        assert shape.unpruned_comparisons > 0
+        assert shape.num_reads > 0
+
+
+class TestInsertionRealignment:
+    def test_insertion_placement(self):
+        rng = np.random.default_rng(6)
+        ref_seq = random_bases(3_000, rng)
+        reference = ReferenceGenome([Contig("c", ref_seq)])
+        ins = "TTTTT"
+        donor = ref_seq[:1500] + ins + ref_seq[1500:]
+        reads = []
+        L = 100
+        for i, start in enumerate(range(1406, 1495, 7)):
+            seq = donor[start : start + L]
+            k = 1500 - start
+            if i % 3 == 0:
+                cigar = Cigar.parse(f"{k}M5I{L - k - 5}M")
+                reads.append(Read(f"ok{i}", "c", start, seq, full_quals(L),
+                                  cigar))
+            else:
+                reads.append(Read(f"bad{i}", "c", start, seq, full_quals(L),
+                                  Cigar.parse(f"{L}M")))
+        updated, report = IndelRealigner(reference).realign(reads)
+        assert report.reads_realigned > 0
+        for orig, new in zip(reads, updated):
+            if orig.name.startswith("bad"):
+                k = 1500 - orig.pos
+                assert new.pos == orig.pos
+                assert str(new.cigar) == f"{k}M5I{95 - k}M"
+
+
+class TestVectorizedParity:
+    def test_scalar_kernel_gives_identical_reads(self, deletion_scenario):
+        reference, _ref_seq, reads = deletion_scenario
+        fast, _ = IndelRealigner(reference, vectorized=True).realign(reads)
+        slow, _ = IndelRealigner(reference, vectorized=False).realign(reads)
+        for a, b in zip(fast, slow):
+            assert a.pos == b.pos and str(a.cigar) == str(b.cigar)

@@ -1,0 +1,69 @@
+"""Unit tests for repro.genomics.reference."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.reference import Contig, ReferenceGenome
+
+
+@pytest.fixture
+def reference():
+    return ReferenceGenome.from_dict({"1": "ACGTACGTAC", "2": "TTTTT"})
+
+
+class TestContig:
+    def test_length(self):
+        assert len(Contig("x", "ACGT")) == 4
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Contig("", "ACGT")
+
+    def test_invalid_bases_rejected(self):
+        with pytest.raises(Exception):
+            Contig("x", "ACGX")
+
+
+class TestReferenceGenome:
+    def test_requires_contigs(self):
+        with pytest.raises(ValueError):
+            ReferenceGenome([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ReferenceGenome([Contig("1", "A"), Contig("1", "C")])
+
+    def test_contains_and_names(self, reference):
+        assert "1" in reference
+        assert "3" not in reference
+        assert reference.contig_names == ["1", "2"]
+
+    def test_fetch(self, reference):
+        assert reference.fetch("1", 2, 6) == "GTAC"
+        assert reference.fetch("1", 0, 0) == ""
+
+    def test_fetch_bounds(self, reference):
+        with pytest.raises(IndexError):
+            reference.fetch("1", 5, 11)
+        with pytest.raises(IndexError):
+            reference.fetch("1", -1, 4)
+        with pytest.raises(IndexError):
+            reference.fetch("1", 6, 4)
+
+    def test_fetch_unknown_contig(self, reference):
+        with pytest.raises(KeyError):
+            reference.fetch("nope", 0, 1)
+
+    def test_lengths(self, reference):
+        assert reference.length("2") == 5
+        assert reference.total_length() == 15
+
+    def test_intervals(self, reference):
+        assert reference.intervals() == [("1", 0, 10), ("2", 0, 5)]
+
+    def test_random(self):
+        ref = ReferenceGenome.random({"a": 100, "b": 50},
+                                     np.random.default_rng(3))
+        assert ref.length("a") == 100
+        assert ref.length("b") == 50
+        assert set(ref.contig("a").sequence) <= set("ACGT")

@@ -1,0 +1,124 @@
+"""Unit and property tests for sync/async target scheduling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import (
+    ScheduledTarget,
+    schedule,
+    schedule_async,
+    schedule_sync,
+)
+
+targets_strategy = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(1, 500)), min_size=1,
+    max_size=60,
+).map(lambda pairs: [
+    ScheduledTarget(index=i, transfer_cycles=t, compute_cycles=c)
+    for i, (t, c) in enumerate(pairs)
+])
+
+
+def simple_targets(computes, transfer=0):
+    return [
+        ScheduledTarget(index=i, transfer_cycles=transfer, compute_cycles=c)
+        for i, c in enumerate(computes)
+    ]
+
+
+class TestSync:
+    def test_batch_barrier(self):
+        # Two batches of 2 on 2 units: makespan = max(batch1) + max(batch2).
+        result = schedule_sync(simple_targets([10, 80, 30, 5]), 2)
+        assert result.makespan == 80 + 30
+
+    def test_transfer_serialized_before_batch(self):
+        result = schedule_sync(simple_targets([10, 10], transfer=3), 2)
+        assert result.makespan == 6 + 10
+
+    def test_idle_units_visible_in_utilization(self):
+        result = schedule_sync(simple_targets([100, 1, 1, 1]), 4)
+        assert result.utilization == pytest.approx(103 / 400)
+
+
+class TestAsync:
+    def test_work_conserving(self):
+        # 4 targets on 2 units: [10, 80] then unit0 takes 30 and 5.
+        result = schedule_async(simple_targets([10, 80, 30, 5]), 2)
+        assert result.makespan == 80
+
+    def test_transfer_gates_start(self):
+        result = schedule_async(simple_targets([10, 10], transfer=7), 2)
+        spans = sorted(result.spans, key=lambda s: s.target_index)
+        assert spans[0].start == 7
+        assert spans[1].start == 14
+
+    def test_beats_sync_on_imbalanced_batches(self):
+        computes = [100, 1, 1, 1] * 8
+        sync = schedule_sync(simple_targets(computes), 4)
+        async_ = schedule_async(simple_targets(computes), 4)
+        assert async_.makespan < sync.makespan
+
+
+class TestDispatch:
+    def test_scheme_dispatch(self):
+        targets = simple_targets([5])
+        assert schedule(targets, 1, "sync").makespan == 5
+        assert schedule(targets, 1, "async").makespan == 5
+        with pytest.raises(ValueError):
+            schedule(targets, 1, "magic")
+
+    def test_positive_units_required(self):
+        with pytest.raises(ValueError):
+            schedule_sync([], 0)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduledTarget(index=0, transfer_cycles=-1, compute_cycles=1)
+
+
+class TestInvariants:
+    @given(targets_strategy, st.integers(1, 8),
+           st.sampled_from(["sync", "async"]))
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_invariants(self, targets, num_units, scheme):
+        result = schedule(targets, num_units, scheme)
+        # Every target scheduled exactly once.
+        assert sorted(s.target_index for s in result.spans) == \
+            sorted(t.index for t in targets)
+        # Spans on one unit never overlap.
+        by_unit = {}
+        for span in result.spans:
+            by_unit.setdefault(span.unit, []).append(span)
+        for spans in by_unit.values():
+            ordered = sorted(spans, key=lambda s: s.start)
+            for a, b in zip(ordered, ordered[1:]):
+                assert a.end <= b.start
+        # Makespan bounds: at least the critical path, at most serial.
+        total = sum(t.compute_cycles + t.transfer_cycles for t in targets)
+        longest = max(t.compute_cycles for t in targets)
+        assert longest <= result.makespan <= total
+        # Utilization is a fraction.
+        assert 0.0 <= result.utilization <= 1.0
+
+    @given(targets_strategy, st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_async_never_slower_than_sync(self, targets, num_units):
+        sync = schedule_sync(targets, num_units)
+        async_ = schedule_async(targets, num_units)
+        assert async_.makespan <= sync.makespan
+
+
+class TestTimeline:
+    def test_ascii_render(self):
+        result = schedule_async(simple_targets([50, 50]), 2)
+        art = result.ascii_timeline(width=20)
+        lines = art.splitlines()
+        assert len(lines) == 2
+        assert "0" in lines[0] and "1" in lines[1]
+
+    def test_empty_schedule(self):
+        result = schedule_async([], 2)
+        assert result.ascii_timeline() == "(empty schedule)"
+        assert result.utilization == 0.0

@@ -1,0 +1,125 @@
+"""Unit tests for truth variants and the read simulator."""
+
+import numpy as np
+import pytest
+
+from repro.genomics.simulate import (
+    ReadSimulator,
+    SimulationProfile,
+    plan_variants,
+    simulate_sample,
+)
+from repro.genomics.reference import ReferenceGenome
+from repro.genomics.variants import Variant, VariantKind
+
+
+class TestVariant:
+    def test_kinds(self):
+        assert Variant("1", 5, "A", "T").kind is VariantKind.SNP
+        assert Variant("1", 5, "A", "ATT").kind is VariantKind.INSERTION
+        assert Variant("1", 5, "ATT", "A").kind is VariantKind.DELETION
+
+    def test_length_change(self):
+        assert Variant("1", 5, "A", "ATT").length_change == 2
+        assert Variant("1", 5, "ATT", "A").length_change == -2
+
+    def test_identical_alleles_rejected(self):
+        with pytest.raises(ValueError):
+            Variant("1", 5, "A", "A")
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            Variant("1", 5, "A", "T", allele_fraction=0.0)
+        with pytest.raises(ValueError):
+            Variant("1", 5, "A", "T", allele_fraction=1.5)
+
+    def test_describe(self):
+        assert "INS" in Variant("1", 5, "A", "AT").describe()
+
+
+class TestPlanVariants:
+    def test_variants_do_not_overlap(self):
+        rng = np.random.default_rng(0)
+        ref = ReferenceGenome.random({"1": 50_000}, rng)
+        profile = SimulationProfile(snp_rate=2e-3, indel_rate=1e-3)
+        variants = plan_variants(ref, profile, rng)
+        assert variants
+        for earlier, later in zip(variants, variants[1:]):
+            assert later.pos >= earlier.pos + earlier.ref_span
+
+    def test_alleles_match_reference(self):
+        rng = np.random.default_rng(1)
+        ref = ReferenceGenome.random({"1": 30_000}, rng)
+        profile = SimulationProfile(snp_rate=2e-3, indel_rate=1e-3)
+        for variant in plan_variants(ref, profile, rng):
+            fetched = ref.fetch(
+                variant.chrom, variant.pos, variant.pos + variant.ref_span
+            )
+            assert fetched == variant.ref
+
+
+class TestSimulator:
+    def test_coverage_approximate(self):
+        sample = simulate_sample({"1": 25_000}, seed=3)
+        profile = SimulationProfile()
+        expected = profile.coverage * 25_000 / profile.read_length
+        assert len(sample.reads) == pytest.approx(expected, rel=0.01)
+
+    def test_reads_are_mapped_and_sized(self):
+        sample = simulate_sample({"1": 10_000}, seed=4)
+        for read in sample.reads[:200]:
+            assert read.is_mapped
+            assert len(read) == SimulationProfile().read_length
+
+    def test_deterministic_by_seed(self):
+        a = simulate_sample({"1": 8_000}, seed=9)
+        b = simulate_sample({"1": 8_000}, seed=9)
+        assert [r.pos for r in a.reads] == [r.pos for r in b.reads]
+        assert [r.seq for r in a.reads[:20]] == [r.seq for r in b.reads[:20]]
+
+    def test_indel_reads_exist(self):
+        profile = SimulationProfile(indel_rate=2e-3, coverage=30)
+        sample = simulate_sample({"1": 30_000}, profile=profile, seed=5)
+        gapped = [r for r in sample.reads if r.has_indel]
+        assert gapped, "expected some correctly-aligned INDEL reads"
+        truth_indels = [v for v in sample.truth_variants if v.is_indel]
+        assert truth_indels
+
+    def test_misaligned_reads_keep_region(self):
+        """Misaligned INDEL reads stay at their true start (gap-free)."""
+        profile = SimulationProfile(
+            indel_rate=2e-3, coverage=30, aligner_indel_accuracy=0.0
+        )
+        sample = simulate_sample({"1": 20_000}, profile=profile, seed=6)
+        assert all(not r.has_indel for r in sample.reads)
+
+    def test_perfect_aligner_leaves_no_misalignment(self):
+        profile = SimulationProfile(
+            indel_rate=2e-3, snp_rate=1e-12, coverage=30,
+            aligner_indel_accuracy=1.0, base_error_rate=0.0,
+        )
+        sample = simulate_sample({"1": 20_000}, profile=profile, seed=7)
+        reference = sample.reference
+        # Every gap-free read matches the reference exactly.
+        for read in sample.reads:
+            if not read.has_indel:
+                window = reference.fetch(read.chrom, read.pos, read.end)
+                assert read.seq == window
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            SimulationProfile(read_length=0)
+        with pytest.raises(ValueError):
+            SimulationProfile(base_error_rate=1.5)
+        with pytest.raises(ValueError):
+            SimulationProfile(hotspot_mass=1.0)
+
+    def test_explicit_variants_respected(self):
+        rng = np.random.default_rng(0)
+        ref = ReferenceGenome.random({"1": 5_000}, rng)
+        variant = Variant("1", 2_500, ref.fetch("1", 2_500, 2_503),
+                          ref.fetch("1", 2_500, 2_501), allele_fraction=1.0)
+        simulator = ReadSimulator(ref, SimulationProfile(read_length=100,
+                                                         coverage=20), seed=1)
+        sample = simulator.simulate([variant])
+        assert sample.truth_variants == [variant]

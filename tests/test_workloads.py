@@ -1,0 +1,128 @@
+"""Unit tests for the workload census and generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accelerator import IRUnit, UnitConfig
+from repro.workloads.chromosomes import (
+    ANCHOR_CH2_TARGETS,
+    ANCHOR_CH21_TARGETS,
+    CHROMOSOME_CENSUS,
+    GRCH37_LENGTHS,
+    census_for,
+    total_targets,
+)
+from repro.workloads.generator import (
+    BENCH_PROFILE,
+    REAL_PROFILE,
+    SiteProfile,
+    chromosome_workload,
+    expected_comparisons_per_site,
+    synthesize_site,
+)
+from repro.workloads.toy import (
+    NUM_CONSENSUSES,
+    NUM_READS,
+    NUM_TARGETS,
+    figure7_toy_targets,
+)
+
+
+class TestCensus:
+    def test_covers_22_chromosomes(self):
+        assert len(CHROMOSOME_CENSUS) == 22
+        assert {c.name for c in CHROMOSOME_CENSUS} == \
+            {str(i) for i in range(1, 23)}
+
+    def test_paper_anchors(self):
+        assert census_for("21").ir_targets == ANCHOR_CH21_TARGETS
+        assert census_for("2").ir_targets == ANCHOR_CH2_TARGETS
+
+    def test_targets_increase_with_length(self):
+        ordered = sorted(CHROMOSOME_CENSUS, key=lambda c: c.length_bp)
+        counts = [c.ir_targets for c in ordered]
+        assert counts == sorted(counts)
+        assert all(count > 0 for count in counts)
+
+    def test_complexity_band(self):
+        for census in CHROMOSOME_CENSUS:
+            assert 0.82 <= census.complexity < 1.24
+
+    def test_reads_proportional_to_length(self):
+        total_reads = sum(c.reads for c in CHROMOSOME_CENSUS)
+        assert total_reads == pytest.approx(763_275_063, rel=1e-6)
+
+    def test_total_and_lookup(self):
+        assert total_targets() == sum(c.ir_targets for c in CHROMOSOME_CENSUS)
+        with pytest.raises(KeyError):
+            census_for("X")
+
+    def test_lengths_are_grch37(self):
+        assert GRCH37_LENGTHS["1"] == 249_250_621
+        assert GRCH37_LENGTHS["21"] == 48_129_895
+
+
+class TestGenerator:
+    @given(st.integers(0, 200), st.floats(0.5, 1.5))
+    @settings(max_examples=30, deadline=None)
+    def test_sites_respect_paper_limits(self, seed, complexity):
+        rng = np.random.default_rng(seed)
+        site = synthesize_site(rng, BENCH_PROFILE, complexity=complexity)
+        limits = BENCH_PROFILE.limits
+        assert 2 <= site.num_consensuses <= limits.max_consensuses
+        assert 2 <= site.num_reads <= limits.max_reads
+        assert all(len(c) <= limits.max_consensus_length
+                   for c in site.consensuses)
+        assert all(len(r) <= limits.max_read_length for r in site.reads)
+        max_read = max(len(r) for r in site.reads)
+        assert all(len(c) >= max_read for c in site.consensuses)
+
+    def test_deterministic_by_seed(self):
+        a = synthesize_site(np.random.default_rng(3))
+        b = synthesize_site(np.random.default_rng(3))
+        assert a.consensuses == b.consensuses
+        assert a.reads == b.reads
+
+    def test_chromosome_workload_scaling(self):
+        census = census_for("21")
+        sites = chromosome_workload(census, 10 / census.ir_targets, seed=1)
+        assert len(sites) == 10
+        assert all(site.chrom == "21" for site in sites)
+        with pytest.raises(ValueError):
+            chromosome_workload(census, 0)
+
+    def test_workload_always_at_least_one_site(self):
+        census = census_for("21")
+        assert len(chromosome_workload(census, 1e-9)) == 1
+
+    def test_expected_comparisons_positive_and_monotone(self):
+        base = expected_comparisons_per_site(REAL_PROFILE, 1.0)
+        harder = expected_comparisons_per_site(REAL_PROFILE, 1.2)
+        assert 0 < base < harder
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            SiteProfile("bad", 1.0, 10.0, (10, 20), 100.0)
+        with pytest.raises(ValueError):
+            SiteProfile("bad", 4.0, 10.0, (20, 10), 100.0)
+
+
+class TestToyWorkload:
+    def test_figure7_geometry(self):
+        sites = figure7_toy_targets()
+        assert len(sites) == NUM_TARGETS == 8
+        for site in sites:
+            assert site.num_consensuses == NUM_CONSENSUSES == 2
+            assert site.num_reads == NUM_READS == 8
+            assert len(site.reference) == len(sites[0].reference)
+
+    def test_pruning_variance_near_paper(self):
+        sites = figure7_toy_targets()
+        unit = IRUnit(UnitConfig(lanes=1))
+        cycles = [unit.run_site(site).cycles.total for site in sites]
+        ratio = cycles[3] / cycles[1]
+        # Paper: "about 8 times"; same-sized targets throughout.
+        assert 6.0 <= ratio <= 10.0
+        assert max(cycles) == cycles[3]
