@@ -6,6 +6,8 @@ Commands:
   ``tables`` / ``microarch`` / ``comparisons`` -- print one experiment's
   paper-versus-measured tables (the same code the benchmark harness
   runs).
+- ``resilience`` -- chaos-mode sweep: modelled speedup vs. injected
+  fault rate, with watchdog/retry/quarantine/fallback recovery.
 - ``all`` -- run every experiment in order.
 - ``simulate`` -- write a synthetic sample (FASTA + SAM) to a directory.
 - ``realign`` -- run the software INDEL realigner over a SAM file.
@@ -13,9 +15,11 @@ Commands:
 Examples::
 
     python -m repro figure9 --sites 48 --replication 16
+    python -m repro resilience --fault-rate 0.05 --fault-rate 0.2
     python -m repro simulate --length 30000 --out /tmp/sample
     python -m repro realign --reference /tmp/sample/reference.fa \
-        --sam /tmp/sample/aligned.sam --out /tmp/sample/realigned.sam
+        --sam /tmp/sample/aligned.sam --out /tmp/sample/realigned.sam \
+        --accelerated --fault-rate 0.1 --chaos-seed 7
 """
 
 from __future__ import annotations
@@ -41,6 +45,24 @@ def _cmd_experiment(name: str, args: argparse.Namespace) -> int:
         figure9.main(sites_per_chromosome=args.sites,
                      replication=args.replication)
         return 0
+    if name == "resilience":
+        from repro.experiments import resilience
+        from repro.experiments.resilience import DEFAULT_FAULT_RATES
+
+        rates = tuple(getattr(args, "fault_rate", None)
+                      or DEFAULT_FAULT_RATES)
+        bad = [rate for rate in rates if not 0.0 <= rate <= 1.0]
+        if bad:
+            print(f"error: --fault-rate must be in [0, 1], got {bad[0]}",
+                  file=sys.stderr)
+            return 2
+        resilience.main(
+            fault_rates=rates,
+            sites_per_chromosome=getattr(args, "sites", 48),
+            replication=getattr(args, "replication", 4),
+            chaos_seed=getattr(args, "chaos_seed", 1234),
+        )
+        return 0
     if name == "comparisons":
         comparisons.main()
         return 0
@@ -58,7 +80,8 @@ def _cmd_experiment(name: str, args: argparse.Namespace) -> int:
         return 0
     if name == "all":
         for experiment in ("figure2", "figure3", "figure4", "tables",
-                           "figure7", "appendix", "microarch", "figure9"):
+                           "figure7", "appendix", "microarch", "figure9",
+                           "resilience"):
             _cmd_experiment(experiment, args)
             print()
         return 0
@@ -93,13 +116,33 @@ def _cmd_realign(args: argparse.Namespace) -> int:
     from repro.genomics.samlite import read_sam, write_sam
     from repro.realign.realigner import IndelRealigner
 
+    if not 0.0 <= args.fault_rate <= 1.0:
+        print(f"error: --fault-rate must be in [0, 1], got {args.fault_rate}",
+              file=sys.stderr)
+        return 2
+    if args.fault_rate > 0.0 and not args.accelerated:
+        print("error: --fault-rate requires --accelerated (chaos mode "
+              "injects faults into the FPGA system model)", file=sys.stderr)
+        return 2
     reference = read_reference(args.reference)
     reads = read_sam(args.sam)
     if args.accelerated:
-        realigner = AcceleratedRealigner(reference, SystemConfig.iracc())
+        config = SystemConfig.iracc()
+        if args.fault_rate > 0.0:
+            from dataclasses import replace
+
+            from repro.resilience.policy import ResilienceConfig
+
+            config = replace(config, resilience=ResilienceConfig.chaos(
+                args.chaos_seed, args.fault_rate
+            ))
+        realigner = AcceleratedRealigner(reference, config)
         updated, run, report = realigner.realign(reads)
         print(f"accelerated run: {run.total_seconds * 1e3:.2f} modelled ms, "
               f"{run.pruned_fraction:.0%} of comparisons pruned")
+        if run.resilience is not None:
+            print(f"chaos mode (seed {args.chaos_seed}, rate "
+                  f"{args.fault_rate:.0%}): {run.resilience.describe()}")
     else:
         updated, report = IndelRealigner(reference).realign(reads)
     write_sam(updated, args.out, reference)
@@ -124,6 +167,21 @@ def build_parser() -> argparse.ArgumentParser:
     figure9_parser.add_argument("--replication", type=int, default=24,
                                 help="schedule replication rounds")
 
+    resilience_parser = sub.add_parser(
+        "resilience",
+        help="chaos sweep: speedup vs. injected fault rate",
+    )
+    resilience_parser.add_argument(
+        "--fault-rate", type=float, action="append", dest="fault_rate",
+        help="fault rate to sweep (repeatable; default 0/2/5/10/20%%)",
+    )
+    resilience_parser.add_argument("--chaos-seed", type=int, default=1234,
+                                   help="seed for the deterministic FaultPlan")
+    resilience_parser.add_argument("--sites", type=int, default=48,
+                                   help="sites in the sweep workload")
+    resilience_parser.add_argument("--replication", type=int, default=4,
+                                   help="schedule replication rounds")
+
     simulate = sub.add_parser("simulate", help="write a synthetic sample")
     simulate.add_argument("--out", required=True)
     simulate.add_argument("--contig", default="chr22")
@@ -138,6 +196,13 @@ def build_parser() -> argparse.ArgumentParser:
     realign.add_argument("--out", required=True)
     realign.add_argument("--accelerated", action="store_true",
                          help="run the kernel on the FPGA system model")
+    realign.add_argument("--fault-rate", type=float, default=0.0,
+                         dest="fault_rate",
+                         help="chaos mode: per-attempt fault rate "
+                              "(requires --accelerated)")
+    realign.add_argument("--chaos-seed", type=int, default=0,
+                         dest="chaos_seed",
+                         help="seed for the deterministic FaultPlan")
     return parser
 
 

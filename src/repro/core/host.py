@@ -17,7 +17,7 @@ generated through :func:`repro.core.isa.target_command_stream`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.isa import BufferId, RoccCommand, target_command_stream
 from repro.hw.axi import AxiLiteBus
@@ -27,6 +27,68 @@ from repro.realign.site import RealignmentSite
 
 class HostPlanError(RuntimeError):
     """Raised when a plan cannot fit the FPGA memory."""
+
+
+@dataclass(frozen=True)
+class HostWatchdog:
+    """The host control loop's per-dispatch watchdog policy.
+
+    The paper's control program "waits for responses" with no bound; a
+    hung unit or a dropped MMIO response would stall the whole dispatch
+    loop forever. The watchdog arms a deadline when a target is started:
+    the host knows each target's expected compute cycles (the cycle
+    model it used for planning is deterministic), so the deadline is a
+    multiple of that expectation plus fixed slack for MMIO/PCIe jitter.
+    On expiry the host treats the dispatch as failed, resets the unit
+    (``reset_cycles`` of soft-reset turnaround), and hands the target to
+    the retry machinery.
+    """
+
+    multiplier: float = 4.0
+    slack_cycles: int = 1024
+    reset_cycles: int = 64
+
+    def __post_init__(self) -> None:
+        if self.multiplier < 1.0:
+            raise ValueError("watchdog multiplier must be >= 1")
+        if self.slack_cycles < 0 or self.reset_cycles < 0:
+            raise ValueError("watchdog cycles must be non-negative")
+
+    def deadline_cycles(self, expected_compute_cycles: int) -> int:
+        """Cycles after dispatch at which the watchdog fires."""
+        if expected_compute_cycles < 0:
+            raise ValueError("expected cycles must be non-negative")
+        return int(expected_compute_cycles * self.multiplier) + self.slack_cycles
+
+
+@dataclass
+class WatchdogBank:
+    """Armed watchdog timers, one per in-flight unit dispatch."""
+
+    deadlines: Dict[int, int] = field(default_factory=dict)
+    expirations: int = 0
+
+    def arm(self, unit: int, deadline: int) -> None:
+        if unit in self.deadlines:
+            raise HostPlanError(f"unit {unit} already has an armed watchdog")
+        self.deadlines[unit] = deadline
+
+    def disarm(self, unit: int) -> None:
+        self.deadlines.pop(unit, None)
+
+    def expire(self, unit: int) -> None:
+        """The unit's deadline passed without a response."""
+        if unit not in self.deadlines:
+            raise HostPlanError(f"unit {unit} has no armed watchdog")
+        del self.deadlines[unit]
+        self.expirations += 1
+
+    def expired(self, now: int) -> List[int]:
+        """Units whose deadlines have passed at cycle ``now``."""
+        return sorted(u for u, d in self.deadlines.items() if d <= now)
+
+    def next_deadline(self) -> Optional[int]:
+        return min(self.deadlines.values()) if self.deadlines else None
 
 
 @dataclass(frozen=True)

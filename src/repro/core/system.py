@@ -35,6 +35,9 @@ from repro.realign.realigner import (
     apply_realignment,
 )
 from repro.realign.site import RealignmentSite, SiteLimits, PAPER_LIMITS
+from repro.realign.whd import realign_site
+from repro.resilience.health import ResilienceStats
+from repro.resilience.policy import ResilienceConfig
 
 
 @dataclass(frozen=True)
@@ -55,12 +58,22 @@ class SystemConfig:
     # the next target's start (Section IV's asynchronous scheme). ~1 us
     # of PCIe round-trip at 125 MHz.
     response_latency_cycles: int = 125
+    # Fault tolerance: a ResilienceConfig switches the run into chaos
+    # mode -- its FaultPlan injects faults, and the watchdog/retry/
+    # quarantine/fallback machinery recovers from them. None (default)
+    # is the paper's fault-free operation, bit-for-bit unchanged.
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_units <= 0:
             raise ValueError("num_units must be positive")
         if self.scheduling not in ("sync", "async"):
             raise ValueError(f"unknown scheduling scheme {self.scheduling!r}")
+        if self.resilience is not None and self.scheduling != "async":
+            raise ValueError(
+                "fault recovery requires asynchronous scheduling: the "
+                "watchdog lives in the MMIO response-polling loop"
+            )
 
     # -- the paper's three design points --------------------------------
     @classmethod
@@ -90,6 +103,7 @@ class SystemRunResult:
     total_seconds: float
     transfer_seconds: float
     replication: int = 1
+    resilience: Optional[ResilienceStats] = None
 
     @property
     def targets_processed(self) -> int:
@@ -145,6 +159,36 @@ class SystemRunResult:
         if self.total_seconds == 0:
             return 0.0
         return self.unpruned_comparisons / self.total_seconds
+
+    # -- fault-tolerance observability ----------------------------------
+    @property
+    def active_units(self) -> int:
+        """Units still in service at the end of the run (N - k)."""
+        if self.resilience is None:
+            return self.config.num_units
+        return self.resilience.active_units
+
+    @property
+    def fault_events(self) -> int:
+        return 0 if self.resilience is None else (
+            self.resilience.counters.total_injected
+        )
+
+    @property
+    def fallback_site_indices(self) -> set:
+        """Distinct input sites that completed on the software fallback.
+
+        Scheduled positions replicate the site list round by round;
+        a site counts as fallen back if *any* of its replicas did.
+        """
+        if self.resilience is None or not self.unit_results:
+            return set()
+        num_sites = len(self.unit_results)
+        return {
+            position % num_sites
+            for position, mode in self.resilience.completions.items()
+            if mode == "sw"
+        }
 
 
 class AcceleratedIRSystem:
@@ -218,8 +262,27 @@ class AcceleratedIRSystem:
                                         + self.config.response_latency_cycles),
                     )
                 )
+        resilience = self.config.resilience
+        dma_penalties = None
+        if resilience is not None:
+            # Channel cycles wasted per faulted transfer attempt, from
+            # the PCIe model's error/timeout latencies.
+            per_site = [
+                tuple(
+                    int(round(self.config.clock.seconds_to_cycles(
+                        self.config.dma.faulted_transfer_seconds(
+                            site.input_bytes() + site.output_bytes(), outcome
+                        )
+                    )))
+                    for outcome in ("error", "timeout")
+                )
+                for site in sites
+            ]
+            dma_penalties = per_site * replication
         timeline = schedule(scheduled, self.config.num_units,
-                            self.config.scheduling)
+                            self.config.scheduling,
+                            resilience=resilience,
+                            dma_penalties=dma_penalties)
         total_seconds = self.config.clock.cycles_to_seconds(timeline.makespan)
         return SystemRunResult(
             config=self.config,
@@ -229,6 +292,7 @@ class AcceleratedIRSystem:
             total_seconds=total_seconds,
             transfer_seconds=sum(transfers) * replication,
             replication=replication,
+            resilience=(timeline.stats() if resilience is not None else None),
         )
 
 
@@ -262,8 +326,18 @@ class AcceleratedRealigner:
         )
         site_list = [window.site for window in windows]
         run = self.system.run(site_list)
+        fallback = run.fallback_site_indices
         updates: Dict[str, Read] = {}
-        for window, result in zip(windows, run.unit_results):
+        for index, (window, result) in enumerate(zip(windows,
+                                                     run.unit_results)):
+            if index in fallback:
+                # Graceful degradation: this target exhausted hardware
+                # recovery, so its decisions come from the software
+                # kernel -- bit-identical to the unit's by construction
+                # (pinned by the hardware/software equivalence tests).
+                result = realign_site(
+                    window.site, scoring=self.system.config.scoring
+                )
             report.unpruned_comparisons += window.site.unpruned_comparisons()
             for j, read in enumerate(window.reads):
                 if result.realign[j]:

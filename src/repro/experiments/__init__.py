@@ -16,6 +16,7 @@ module                reproduces
 ``microarch``         pruning rate, BRAM/CLB, peak throughput, DMA share
 ``comparisons``       ADAM, HLS, and GPU comparison points
 ``appendix``          Figure 10 (target pileup) and the glossary
+``resilience``        speedup vs. injected fault rate (beyond the paper)
 ====================  =====================================================
 """
 
@@ -28,6 +29,7 @@ from repro.experiments import (
     figure7,
     figure9,
     microarch,
+    resilience,
     tables,
 )
 
@@ -40,5 +42,6 @@ __all__ = [
     "figure7",
     "figure9",
     "microarch",
+    "resilience",
     "tables",
 ]

@@ -1,0 +1,243 @@
+"""Watchdog-driven asynchronous scheduling with retry, quarantine, and
+software fallback.
+
+This is the fault-tolerant counterpart of
+:func:`repro.core.scheduler.schedule_async`. It plays the same
+event-driven game -- a serialized PCIe transfer channel feeding an
+earliest-free heap of IR units -- but every dispatch attempt is exposed
+to the :class:`~repro.resilience.faults.FaultPlan`:
+
+- a clean attempt completes exactly as in the fault-free scheduler;
+- a **slowdown** stretches the attempt; if it still beats the watchdog
+  deadline it merely finishes late, otherwise the host cannot tell it
+  from a hang and kills it at the deadline;
+- a **hang** or **dropped response** occupies the unit until the
+  watchdog fires (the host polls ``response valid`` and sees nothing);
+- a **corrupted response** is caught immediately by the CRC of
+  :func:`repro.hw.axi.check_response` and retried without waiting;
+- a **DMA error/timeout** wastes channel cycles and retries the
+  transfer.
+
+Failed attempts retry with bounded exponential backoff and
+deterministic jitter; units that fail
+:attr:`~repro.resilience.policy.QuarantinePolicy.failure_threshold`
+times in a row are quarantined (the sea degrades from N to N-k units);
+targets that exhaust their retry budget -- or find every unit
+quarantined -- drain to the software realigner on the host.
+
+With a fault-free plan the result is *identical* (spans, makespan,
+transfer total) to ``schedule_async``; property tests pin this.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.host import WatchdogBank
+from repro.core.scheduler import (
+    ScheduledTarget,
+    ScheduleResult,
+    TimelineSpan,
+)
+from repro.resilience.faults import FaultEvent, FaultKind
+from repro.resilience.health import (
+    FaultCounters,
+    ResilienceStats,
+    UnitHealth,
+)
+from repro.resilience.policy import ResilienceConfig, ResilienceError
+
+#: Unit id recorded on software-fallback spans (the host CPU).
+HOST_UNIT = -1
+
+
+@dataclass
+class ResilientScheduleResult(ScheduleResult):
+    """A fault-tolerant schedule: spans plus the full fault ledger.
+
+    ``spans`` holds every hardware dispatch attempt (failed attempts
+    occupy their unit until the watchdog reclaims it, so they are real
+    timeline spans); ``fallback_spans`` holds software completions on
+    the host CPU timeline. ``completions`` maps each scheduled position
+    to ``"hw"``/``"sw"`` -- every position completes exactly once.
+    """
+
+    events: List[FaultEvent] = field(default_factory=list)
+    counters: FaultCounters = field(default_factory=FaultCounters)
+    unit_health: List[UnitHealth] = field(default_factory=list)
+    completions: Dict[int, str] = field(default_factory=dict)
+    quarantined_units: List[int] = field(default_factory=list)
+    fallback_spans: List[TimelineSpan] = field(default_factory=list)
+    hardware_makespan: int = 0
+    dma_penalty_cycles: int = 0
+
+    @property
+    def fallback_cycles(self) -> int:
+        return sum(span.duration for span in self.fallback_spans)
+
+    def stats(self) -> ResilienceStats:
+        return ResilienceStats(
+            counters=self.counters,
+            unit_health=self.unit_health,
+            completions=dict(self.completions),
+            quarantined=list(self.quarantined_units),
+            hardware_makespan_cycles=self.hardware_makespan,
+            fallback_cycles=self.fallback_cycles,
+        )
+
+
+def schedule_with_recovery(
+    targets: Sequence[ScheduledTarget],
+    num_units: int,
+    config: ResilienceConfig,
+    dma_penalties: Optional[Sequence[Tuple[int, int]]] = None,
+) -> ResilientScheduleResult:
+    """Schedule ``targets`` under ``config``'s fault plan and policies.
+
+    ``dma_penalties`` optionally gives per-position ``(error_cycles,
+    timeout_cycles)`` charged to the transfer channel when a DMA attempt
+    faults (the system model derives them from
+    :meth:`repro.hw.memory.PcieDmaModel.faulted_transfer_seconds`);
+    without it, an error wastes the target's own transfer cycles and a
+    timeout wastes the watchdog's view of them.
+    """
+    if num_units <= 0:
+        raise ValueError("num_units must be positive")
+    if dma_penalties is not None and len(dma_penalties) != len(targets):
+        raise ValueError("dma_penalties must parallel the target list")
+    plan = config.plan
+    retry, watchdog = config.retry, config.watchdog
+    result = ResilientScheduleResult(num_units=num_units, makespan=0)
+    result.unit_health = [UnitHealth(unit=u) for u in range(num_units)]
+    bank = WatchdogBank()
+
+    # (free_time, unit): earliest-free healthy unit wins, as in
+    # schedule_async. Quarantined units simply never return to the heap.
+    free: List[Tuple[int, int]] = [(0, u) for u in range(num_units)]
+    heapq.heapify(free)
+    active_units = num_units
+    # (ready, seq, position, attempt): initial work in FIFO order;
+    # retries get fresh sequence numbers behind everything queued.
+    work: List[Tuple[int, int, int, int]] = [
+        (0, pos, pos, 0) for pos in range(len(targets))
+    ]
+    heapq.heapify(work)
+    seq = len(targets)
+    channel_time = 0
+    host_sw_time = 0
+
+    def requeue(pos: int, attempt: int, not_before: int) -> None:
+        nonlocal seq
+        result.counters.retries += 1
+        backoff = retry.backoff_cycles(attempt, plan, pos)
+        heapq.heappush(work, (not_before + backoff, seq, pos, attempt + 1))
+        seq += 1
+
+    def fall_back(pos: int, ready: int) -> None:
+        nonlocal host_sw_time
+        if not config.software_fallback:
+            raise ResilienceError(
+                f"target position {pos} exhausted hardware recovery and "
+                f"the software fallback is disabled"
+            )
+        target = targets[pos]
+        cycles = int(round(target.compute_cycles * config.fallback_penalty))
+        start = max(host_sw_time, ready)
+        host_sw_time = start + cycles
+        result.fallback_spans.append(
+            TimelineSpan(target.index, HOST_UNIT, start, host_sw_time)
+        )
+        result.counters.fallbacks += 1
+        result.completions[pos] = "sw"
+
+    while work:
+        ready, _, pos, attempt = heapq.heappop(work)
+        target = targets[pos]
+        if attempt >= retry.max_attempts or not free:
+            fall_back(pos, ready)
+            continue
+
+        # -- transfer attempt on the serialized PCIe channel ------------
+        dma_fault = plan.dma_outcome(pos, attempt)
+        if dma_fault is not None:
+            result.counters.record(dma_fault)
+            result.events.append(dma_fault)
+            if dma_penalties is not None:
+                error_cycles, timeout_cycles = dma_penalties[pos]
+            else:
+                error_cycles = target.transfer_cycles
+                timeout_cycles = watchdog.deadline_cycles(
+                    target.transfer_cycles
+                )
+            penalty = (
+                error_cycles if dma_fault.kind is FaultKind.DMA_ERROR
+                else timeout_cycles
+            )
+            channel_time = max(channel_time, ready) + penalty
+            result.dma_penalty_cycles += penalty
+            requeue(pos, attempt, channel_time)
+            continue
+        channel_time = max(channel_time, ready) + target.transfer_cycles
+        result.transfer_cycles_total += target.transfer_cycles
+
+        # -- dispatch attempt on the earliest-free unit -----------------
+        unit_free, unit = heapq.heappop(free)
+        start = max(channel_time, unit_free)
+        deadline = start + watchdog.deadline_cycles(target.compute_cycles)
+        bank.arm(unit, deadline)
+        fault = plan.attempt_outcome(unit, pos, attempt)
+        success = False
+        watchdog_fired = False
+        if fault is None:
+            end = start + target.compute_cycles
+            success = True
+        else:
+            result.counters.record(fault)
+            result.events.append(fault)
+            if fault.kind is FaultKind.UNIT_SLOWDOWN:
+                end = start + int(round(
+                    target.compute_cycles * fault.magnitude
+                ))
+                if end <= deadline:
+                    success = True  # late but within the watchdog window
+                else:
+                    end = deadline  # indistinguishable from a hang
+                    watchdog_fired = True
+            elif fault.kind in (FaultKind.UNIT_HANG,
+                                FaultKind.RESPONSE_DROP):
+                end = deadline
+                watchdog_fired = True
+            else:  # RESPONSE_CORRUPT: CRC catches it on arrival
+                end = start + target.compute_cycles
+        result.spans.append(TimelineSpan(target.index, unit, start, end))
+        health = result.unit_health[unit]
+        if watchdog_fired:
+            bank.expire(unit)
+            result.counters.watchdog_expirations += 1
+        else:
+            bank.disarm(unit)
+        if success:
+            health.record_success(end - start)
+            result.completions[pos] = "hw"
+            heapq.heappush(free, (end, unit))
+            continue
+        health.record_failure(end - start)
+        freed_at = end + watchdog.reset_cycles
+        requeue(pos, attempt, freed_at)
+        if (health.consecutive_failures
+                >= config.quarantine.failure_threshold
+                and active_units - 1 >= config.quarantine.min_active_units):
+            health.quarantined = True
+            active_units -= 1
+            result.counters.quarantined_units += 1
+            result.quarantined_units.append(unit)
+        else:
+            heapq.heappush(free, (freed_at, unit))
+
+    result.hardware_makespan = max(
+        (span.end for span in result.spans), default=0
+    )
+    result.makespan = max(result.hardware_makespan, host_sw_time)
+    return result
