@@ -1,0 +1,59 @@
+"""Microbenchmarks of the target schedulers (repeatable timing runs).
+
+Times the three scheduling schemes on an identical pre-planned target
+list, so their relative cost is visible in the benchmark table and the
+committed ``BENCH_scheduler.json`` baseline pins the trajectory:
+synchronous batching, asynchronous launch-on-response, and the
+fault-tolerant scheduler in its fault-free fast path.
+"""
+
+import numpy as np
+
+from repro.core.scheduler import (
+    ScheduledTarget,
+    schedule_async,
+    schedule_sync,
+)
+from repro.resilience.policy import ResilienceConfig
+from repro.resilience.recovery import schedule_with_recovery
+
+NUM_UNITS = 32
+NUM_TARGETS = 2048
+
+
+def _targets(seed=7, n=NUM_TARGETS):
+    rng = np.random.default_rng(seed)
+    compute = rng.integers(500, 20_000, n)
+    transfer = rng.integers(10, 200, n)
+    return [
+        ScheduledTarget(index=i, transfer_cycles=int(t),
+                        compute_cycles=int(c))
+        for i, (t, c) in enumerate(zip(transfer, compute))
+    ]
+
+
+def test_schedule_sync(benchmark):
+    targets = _targets()
+    result = benchmark(schedule_sync, targets, NUM_UNITS)
+    assert result.makespan > 0
+
+
+def test_schedule_async(benchmark):
+    targets = _targets()
+    result = benchmark(schedule_async, targets, NUM_UNITS)
+    assert result.makespan > 0
+
+
+def test_schedule_with_recovery_fault_free(benchmark):
+    targets = _targets()
+    config = ResilienceConfig()
+    result = benchmark(schedule_with_recovery, targets, NUM_UNITS, config)
+    assert result.makespan > 0
+    assert not result.events
+
+
+def test_schedule_with_recovery_chaos(benchmark):
+    targets = _targets()
+    config = ResilienceConfig.chaos(seed=11, rate=0.05)
+    result = benchmark(schedule_with_recovery, targets, NUM_UNITS, config)
+    assert result.makespan > 0

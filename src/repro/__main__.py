@@ -11,6 +11,13 @@ Commands:
 - ``all`` -- run every experiment in order.
 - ``simulate`` -- write a synthetic sample (FASTA + SAM) to a directory.
 - ``realign`` -- run the software INDEL realigner over a SAM file.
+- ``trace`` -- run a bench workload through the sync / async / recovery
+  schedulers with telemetry on and write a Chrome ``trace_event`` file
+  (open it at https://ui.perfetto.dev).
+
+Output paths are validated when arguments are parsed, not at the end of
+the run: a ``realign`` over a large SAM fails in milliseconds -- not
+minutes -- when ``--out`` points into a missing or read-only directory.
 
 Examples::
 
@@ -20,13 +27,71 @@ Examples::
     python -m repro realign --reference /tmp/sample/reference.fa \
         --sam /tmp/sample/aligned.sam --out /tmp/sample/realigned.sam \
         --accelerated --fault-rate 0.1 --chaos-seed 7
+    python -m repro trace --out /tmp/trace.json --fault-rate 0.1
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
+
+
+def _out_file(value: str) -> Path:
+    """Argparse type for an output *file*: parent must be a writable dir.
+
+    Checked at parse time so a long run cannot end in an unwritable
+    ``--out`` (the realigner used to discover this only after realigning
+    everything).
+    """
+    path = Path(value)
+    parent = path.parent
+    if not parent.exists():
+        raise argparse.ArgumentTypeError(
+            f"output directory {parent} does not exist"
+        )
+    if not parent.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"output directory {parent} is not a directory"
+        )
+    if not os.access(parent, os.W_OK):
+        raise argparse.ArgumentTypeError(
+            f"output directory {parent} is not writable"
+        )
+    if path.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"output path {path} is a directory, expected a file"
+        )
+    if path.exists() and not os.access(path, os.W_OK):
+        raise argparse.ArgumentTypeError(
+            f"output file {path} exists and is not writable"
+        )
+    return path
+
+
+def _out_dir(value: str) -> Path:
+    """Argparse type for an output *directory* that will be created.
+
+    Walks up to the nearest existing ancestor and requires it to be a
+    writable directory, so ``mkdir -p`` cannot fail later.
+    """
+    path = Path(value)
+    ancestor = path
+    while not ancestor.exists():
+        parent = ancestor.parent
+        if parent == ancestor:
+            break
+        ancestor = parent
+    if ancestor.exists() and not ancestor.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"cannot create {path}: {ancestor} is not a directory"
+        )
+    if not os.access(ancestor, os.W_OK):
+        raise argparse.ArgumentTypeError(
+            f"cannot create {path}: {ancestor} is not writable"
+        )
+    return path
 
 
 def _cmd_experiment(name: str, args: argparse.Namespace) -> int:
@@ -61,6 +126,7 @@ def _cmd_experiment(name: str, args: argparse.Namespace) -> int:
             sites_per_chromosome=getattr(args, "sites", 48),
             replication=getattr(args, "replication", 4),
             chaos_seed=getattr(args, "chaos_seed", 1234),
+            trace_out=getattr(args, "telemetry", None),
         )
         return 0
     if name == "comparisons":
@@ -94,7 +160,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.genomics.simulate import SimulationProfile, simulate_sample
 
     out = Path(args.out)
-    out.mkdir(parents=True, exist_ok=True)
+    try:
+        out.mkdir(parents=True, exist_ok=True)
+    except OSError as error:
+        print(f"error: cannot create output directory {out}: {error}",
+              file=sys.stderr)
+        return 2
     profile = SimulationProfile(
         coverage=args.coverage, indel_rate=args.indel_rate,
     )
@@ -136,19 +207,124 @@ def _cmd_realign(args: argparse.Namespace) -> int:
             config = replace(config, resilience=ResilienceConfig.chaos(
                 args.chaos_seed, args.fault_rate
             ))
+        telemetry = None
+        if args.telemetry is not None:
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry(label=config.name)
         realigner = AcceleratedRealigner(reference, config)
-        updated, run, report = realigner.realign(reads)
+        updated, run, report = realigner.realign(reads, telemetry=telemetry)
         print(f"accelerated run: {run.total_seconds * 1e3:.2f} modelled ms, "
               f"{run.pruned_fraction:.0%} of comparisons pruned")
         if run.resilience is not None:
             print(f"chaos mode (seed {args.chaos_seed}, rate "
                   f"{args.fault_rate:.0%}): {run.resilience.describe()}")
+        if telemetry is not None:
+            from repro.telemetry import write_chrome_trace
+            from repro.telemetry.metrics import derive_schedule_metrics
+
+            write_chrome_trace(telemetry, args.telemetry)
+            print(f"telemetry: {derive_schedule_metrics(telemetry).describe()}")
+            print(f"trace -> {args.telemetry}")
     else:
+        if args.telemetry is not None:
+            print("error: --telemetry requires --accelerated (the software "
+                  "realigner has no hardware timeline)", file=sys.stderr)
+            return 2
         updated, report = IndelRealigner(reference).realign(reads)
     write_sam(updated, args.out, reference)
     print(f"{report.targets_identified} targets, {report.sites_built} sites, "
           f"{report.reads_realigned} reads realigned -> {args.out}")
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.system import AcceleratedIRSystem, SystemConfig
+    from repro.resilience.policy import ResilienceConfig
+    from repro.telemetry import Telemetry, write_chrome_trace
+    from repro.telemetry.metrics import derive_schedule_metrics
+    from repro.workloads.chromosomes import CHROMOSOME_CENSUS
+    from repro.workloads.generator import BENCH_PROFILE, chromosome_workload
+
+    if not 0.0 <= args.fault_rate <= 1.0:
+        print(f"error: --fault-rate must be in [0, 1], got {args.fault_rate}",
+              file=sys.stderr)
+        return 2
+    census = next(c for c in CHROMOSOME_CENSUS if c.name == "21")
+    sites = chromosome_workload(
+        census, args.sites / census.ir_targets, BENCH_PROFILE, seed=args.seed,
+    )
+    sessions = []
+
+    def record(label: str, config: SystemConfig) -> Telemetry:
+        telemetry = Telemetry(label=label)
+        AcceleratedIRSystem(config).run(
+            sites, replication=args.replication, telemetry=telemetry,
+        )
+        sessions.append(telemetry)
+        return telemetry
+
+    record("sync", SystemConfig(name="IR ACC (sync)", lanes=32,
+                                scheduling="sync"))
+    async_session = record("async", SystemConfig.iracc())
+    recovery_session = record(
+        "recovery (fault-free)",
+        SystemConfig(name="IR ACC", lanes=32, scheduling="async",
+                     resilience=ResilienceConfig()),
+    )
+    if args.fault_rate > 0.0:
+        record(
+            f"chaos {args.fault_rate:.0%}",
+            SystemConfig(
+                name="IR ACC", lanes=32, scheduling="async",
+                resilience=ResilienceConfig.chaos(
+                    args.chaos_seed, args.fault_rate
+                ),
+            ),
+        )
+    if args.fleet > 0:
+        from repro.perf.fleet import (
+            FleetJob,
+            plan_fleet,
+            record_fleet_spans,
+            simulate_preemptions,
+        )
+
+        jobs = [FleetJob(name=f"shard{i}", seconds=600.0 + 60.0 * (i % 5))
+                for i in range(2 * args.fleet)]
+        plan = plan_fleet(jobs, args.fleet)
+        preempted = None
+        if args.fault_rate > 0.0:
+            from repro.resilience.faults import FaultPlan
+
+            preempted = simulate_preemptions(
+                plan,
+                FaultPlan.chaos(args.chaos_seed,
+                                args.fault_rate).preemption_fraction,
+            )
+        fleet_session = Telemetry(label="fleet")
+        record_fleet_spans(fleet_session, plan, preempted)
+        sessions.append(fleet_session)
+    write_chrome_trace(sessions, args.out)
+    for session in sessions:
+        if session.label == "fleet":
+            flat = session.counters.flat()
+            print(f"[fleet] {flat.get('fleet.jobs', 0)} jobs on "
+                  f"{flat.get('fleet.instances', 0)} instances, "
+                  f"{flat.get('fleet.preemptions', 0)} preemptions")
+            continue
+        metrics = derive_schedule_metrics(session)
+        print(f"[{session.label}] {metrics.describe()}")
+    matched = set(async_session.spans) == set(recovery_session.spans)
+    if matched:
+        print(f"fault-free recovery timeline is span-identical to "
+              f"schedule_async ({len(async_session.spans)} spans)")
+    else:
+        print("warning: fault-free recovery spans diverge from "
+              "schedule_async", file=sys.stderr)
+    print(f"{sum(len(s.spans) for s in sessions)} spans, "
+          f"{len(sessions)} sessions -> {args.out}")
+    return 0 if matched else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -181,9 +357,13 @@ def build_parser() -> argparse.ArgumentParser:
                                    help="sites in the sweep workload")
     resilience_parser.add_argument("--replication", type=int, default=4,
                                    help="schedule replication rounds")
+    resilience_parser.add_argument(
+        "--telemetry", type=_out_file, default=None, metavar="PATH",
+        help="write a Chrome trace of the sweep (one session per rate)",
+    )
 
     simulate = sub.add_parser("simulate", help="write a synthetic sample")
-    simulate.add_argument("--out", required=True)
+    simulate.add_argument("--out", required=True, type=_out_dir)
     simulate.add_argument("--contig", default="chr22")
     simulate.add_argument("--length", type=int, default=30_000)
     simulate.add_argument("--coverage", type=float, default=40.0)
@@ -193,7 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
     realign = sub.add_parser("realign", help="realign a SAM file")
     realign.add_argument("--reference", required=True)
     realign.add_argument("--sam", required=True)
-    realign.add_argument("--out", required=True)
+    realign.add_argument("--out", required=True, type=_out_file)
     realign.add_argument("--accelerated", action="store_true",
                          help="run the kernel on the FPGA system model")
     realign.add_argument("--fault-rate", type=float, default=0.0,
@@ -203,6 +383,32 @@ def build_parser() -> argparse.ArgumentParser:
     realign.add_argument("--chaos-seed", type=int, default=0,
                          dest="chaos_seed",
                          help="seed for the deterministic FaultPlan")
+    realign.add_argument(
+        "--telemetry", type=_out_file, default=None, metavar="PATH",
+        help="write a Chrome trace of the accelerated run "
+             "(requires --accelerated)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="record sync/async/recovery telemetry to a Chrome trace",
+    )
+    trace.add_argument("--out", required=True, type=_out_file,
+                       help="trace_event JSON file to write")
+    trace.add_argument("--sites", type=int, default=24,
+                       help="sites in the traced workload")
+    trace.add_argument("--replication", type=int, default=1,
+                       help="schedule replication rounds")
+    trace.add_argument("--seed", type=int, default=42,
+                       help="workload synthesis seed")
+    trace.add_argument("--fault-rate", type=float, default=0.0,
+                       dest="fault_rate",
+                       help="add a chaos session at this fault rate")
+    trace.add_argument("--chaos-seed", type=int, default=1234,
+                       dest="chaos_seed",
+                       help="seed for the deterministic FaultPlan")
+    trace.add_argument("--fleet", type=int, default=0,
+                       help="add a fleet session with this many instances")
     return parser
 
 
@@ -212,6 +418,8 @@ def main(argv=None) -> int:
         return _cmd_simulate(args)
     if args.command == "realign":
         return _cmd_realign(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if not hasattr(args, "sites"):
         args.sites = 96
         args.replication = 24

@@ -145,12 +145,15 @@ def plan_targets(
     sites: Sequence[RealignmentSite],
     ddr: DdrChannelModel = DdrChannelModel(),
     unit_assignment: Sequence[int] = (),
+    telemetry=None,
 ) -> HostPlan:
     """Lay out every site's buffers in FPGA DRAM and build its commands.
 
     ``unit_assignment`` optionally names the unit each target's command
     stream addresses (defaults to round-robin over 32, matching the
     dispatch order of the asynchronous scheduler's steady state).
+    ``telemetry`` optionally counts the plan's footprint (commands
+    generated, bytes allocated) on the host's counter namespace.
     """
     plan = HostPlan()
     cursor = 0
@@ -192,4 +195,9 @@ def plan_targets(
             f"plan needs {plan.bytes_allocated} B, exceeding the "
             f"{ddr.capacity_bytes} B DDR channel"
         )
+    if telemetry is not None:
+        telemetry.count("host.targets_planned", len(plan.targets))
+        telemetry.count("host.commands_planned", plan.total_commands)
+        telemetry.count("host.bytes_allocated", plan.bytes_allocated)
+        telemetry.count("host.config_cycles", plan.config_cycles())
     return plan

@@ -56,11 +56,13 @@ class UnitProgrammingState:
 class RoccCommandRouter:
     """Routes commands to units and tracks start/response handshakes."""
 
-    def __init__(self, num_units: int, mmio: Optional[MmioRegisterFile] = None):
+    def __init__(self, num_units: int, mmio: Optional[MmioRegisterFile] = None,
+                 telemetry=None):
         if num_units <= 0:
             raise ValueError("router needs at least one unit")
         self.num_units = num_units
         self.mmio = mmio or MmioRegisterFile()
+        self.telemetry = telemetry
         self.units: List[UnitProgrammingState] = [
             UnitProgrammingState() for _ in range(num_units)
         ]
@@ -103,6 +105,8 @@ class RoccCommandRouter:
             )
         state = self.units[command.unit_id]
         self.commands_routed += 1
+        if self.telemetry is not None:
+            self.telemetry.count("router.commands_routed")
         if command.funct is IrFunct.SET_ADDR:
             state.buffer_addrs[BufferId(command.rs1_value)] = command.rs2_value
             return None
@@ -125,6 +129,8 @@ class RoccCommandRouter:
             )
         state.busy = True
         self.starts_issued += 1
+        if self.telemetry is not None:
+            self.telemetry.count("router.starts_issued")
         return command.unit_id
 
     def complete(self, unit_id: int) -> None:
@@ -135,6 +141,8 @@ class RoccCommandRouter:
         state.busy = False
         state.reset()
         self.mmio.push_response(unit_id)
+        if self.telemetry is not None:
+            self.telemetry.count("router.completions_posted")
 
     def poll_completion(self) -> Optional[int]:
         """Host side: which unit (if any) has responded?"""

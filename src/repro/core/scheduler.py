@@ -101,7 +101,7 @@ class ScheduleResult:
 
 
 def schedule_sync(
-    targets: Sequence[ScheduledTarget], num_units: int
+    targets: Sequence[ScheduledTarget], num_units: int, telemetry=None
 ) -> ScheduleResult:
     """Synchronous-parallel: batched launch with a full flush barrier.
 
@@ -117,6 +117,14 @@ def schedule_sync(
         batch = targets[batch_start : batch_start + num_units]
         transfer = sum(t.transfer_cycles for t in batch)
         result.transfer_cycles_total += transfer
+        if telemetry is not None:
+            xfer_clock = clock
+            for target in batch:
+                telemetry.span(
+                    f"xfer {target.index}", "pcie-channel", xfer_clock,
+                    xfer_clock + target.transfer_cycles, "transfer",
+                )
+                xfer_clock += target.transfer_cycles
         clock += transfer
         launch = clock
         batch_end = launch
@@ -128,11 +136,16 @@ def schedule_sync(
             batch_end = max(batch_end, end)
         clock = batch_end  # synchronous flush: wait for the slowest unit
     result.makespan = clock
+    if telemetry is not None:
+        telemetry.count("schedule.sync_batches",
+                        -(-len(targets) // num_units) if targets else 0)
+        telemetry.record_compute_spans(result)
+        telemetry.finalize_unit_cycles(result)
     return result
 
 
 def schedule_async(
-    targets: Sequence[ScheduledTarget], num_units: int
+    targets: Sequence[ScheduledTarget], num_units: int, telemetry=None
 ) -> ScheduleResult:
     """Asynchronous-parallel: launch on any unit as soon as it responds.
 
@@ -149,6 +162,11 @@ def schedule_async(
     channel_time = 0
     makespan = 0
     for target in targets:
+        if telemetry is not None:
+            telemetry.span(
+                f"xfer {target.index}", "pcie-channel", channel_time,
+                channel_time + target.transfer_cycles, "transfer",
+            )
         channel_time += target.transfer_cycles
         result.transfer_cycles_total += target.transfer_cycles
         unit_free, unit = heapq.heappop(free)
@@ -158,6 +176,9 @@ def schedule_async(
         heapq.heappush(free, (end, unit))
         makespan = max(makespan, end)
     result.makespan = makespan
+    if telemetry is not None:
+        telemetry.record_compute_spans(result)
+        telemetry.finalize_unit_cycles(result)
     return result
 
 
@@ -167,6 +188,7 @@ def schedule(
     scheme: str,
     resilience=None,
     dma_penalties=None,
+    telemetry=None,
 ) -> ScheduleResult:
     """Dispatch on scheme name: ``'sync'`` or ``'async'``.
 
@@ -186,10 +208,11 @@ def schedule(
         from repro.resilience.recovery import schedule_with_recovery
 
         return schedule_with_recovery(
-            targets, num_units, resilience, dma_penalties=dma_penalties
+            targets, num_units, resilience, dma_penalties=dma_penalties,
+            telemetry=telemetry,
         )
     if scheme == "sync":
-        return schedule_sync(targets, num_units)
+        return schedule_sync(targets, num_units, telemetry=telemetry)
     if scheme == "async":
-        return schedule_async(targets, num_units)
+        return schedule_async(targets, num_units, telemetry=telemetry)
     raise ValueError(f"unknown scheduling scheme {scheme!r}")

@@ -21,7 +21,7 @@ from repro.core.accelerator import IRUnit, UnitConfig, UnitRunResult
 from repro.core.host import plan_targets
 from repro.core.router import RoccCommandRouter
 from repro.core.system import SystemConfig
-from repro.hw.axi import AxiLiteBus
+from repro.hw.axi import AxiLiteBus, MmioRegisterFile
 from repro.realign.site import RealignmentSite
 
 
@@ -61,22 +61,33 @@ class SteppedIRSystem:
             cycles += self._bus.write_cycles(words)
         return cycles
 
-    def run(self, sites: Sequence[RealignmentSite]) -> SteppedRunResult:
-        """Process sites FIFO through the full dispatch protocol."""
+    def run(self, sites: Sequence[RealignmentSite],
+            telemetry=None) -> SteppedRunResult:
+        """Process sites FIFO through the full dispatch protocol.
+
+        ``telemetry`` optionally records the handshake-level run: MMIO
+        queue counters, router command counters, per-dispatch host
+        configuration spans, and per-target compute spans on the unit
+        tracks -- the protocol-level view of the same timeline the
+        abstract scheduler traces.
+        """
         config = self.config
-        router = RoccCommandRouter(config.num_units)
+        if telemetry is not None and telemetry.ticks_per_second is None:
+            telemetry.ticks_per_second = config.clock.frequency_hz
+        mmio = MmioRegisterFile(telemetry=telemetry)
+        router = RoccCommandRouter(config.num_units, mmio=mmio,
+                                   telemetry=telemetry)
         plan = plan_targets(
             sites,
             unit_assignment=[0] * len(sites),  # rewritten at dispatch
+            telemetry=telemetry,
         )
         unit_results = [self._unit.run_site(site) for site in sites]
         compute_cycles = [result.cycles.total for result in unit_results]
         transfer_cycles = [
-            int(round(config.clock.seconds_to_cycles(
-                config.dma.streaming_seconds(
-                    site.input_bytes() + site.output_bytes()
-                )
-            )))
+            config.dma.streaming_cycles(
+                site.input_bytes() + site.output_bytes(), config.clock
+            )
             for site in sites
         ]
 
@@ -90,6 +101,11 @@ class SteppedIRSystem:
         responses_polled = 0
         makespan = 0
         for index, site in enumerate(sites):
+            if telemetry is not None:
+                telemetry.span(f"xfer {index}", "pcie-channel",
+                               channel_time,
+                               channel_time + transfer_cycles[index],
+                               "transfer")
             channel_time += transfer_cycles[index]
             busy_until, unit = heapq.heappop(units)
             if busy_until > 0:
@@ -108,6 +124,7 @@ class SteppedIRSystem:
                 unit, site, plan.targets[index].buffer_addrs
             )
             host_time = max(host_time, ready, channel_time)
+            config_start = host_time
             host_time += self._config_cycles(commands)
             for command in commands:
                 started = router.dispatch(command)
@@ -116,6 +133,12 @@ class SteppedIRSystem:
             start = host_time
             end = start + compute_cycles[index]
             starts.append((index, unit, start))
+            if telemetry is not None:
+                telemetry.span(f"config {index}", "host",
+                               config_start, host_time, "config",
+                               commands=len(commands))
+                telemetry.span(f"target {index}", f"unit {unit}",
+                               start, end, "compute")
             heapq.heappush(units, (end, unit))
             makespan = max(makespan, end)
         # Drain outstanding completions.
@@ -125,6 +148,9 @@ class SteppedIRSystem:
                 router.complete(unit)
                 router.poll_completion()
                 responses_polled += 1
+        if telemetry is not None:
+            telemetry.count("stepped.commands_issued", commands_issued)
+            telemetry.count("stepped.responses_polled", responses_polled)
         return SteppedRunResult(
             makespan_cycles=makespan,
             unit_results=unit_results,

@@ -215,7 +215,7 @@ class AcceleratedIRSystem:
         )
 
     def run(self, sites: Sequence[RealignmentSite],
-            replication: int = 1) -> SystemRunResult:
+            replication: int = 1, telemetry=None) -> SystemRunResult:
         """Process every site; returns functional results + timing.
 
         ``unit_results`` stays parallel to the input ``sites`` order.
@@ -232,13 +232,22 @@ class AcceleratedIRSystem:
         then describe the replicated workload -- compare them against a
         software baseline over the same ``len(sites) * replication``
         targets.
+
+        ``telemetry`` optionally records the run: the scheduler's span
+        timeline (one track per unit plus the PCIe channel), per-unit
+        performance counters with the kernel's WHD cell counts folded
+        in, and the DMA byte totals. Passing a recorder changes no
+        functional output (pinned by property tests).
         """
         if replication <= 0:
             raise ValueError("replication must be positive")
+        if telemetry is not None and telemetry.ticks_per_second is None:
+            telemetry.ticks_per_second = self.config.clock.frequency_hz
         plan = plan_targets(
             sites,
             unit_assignment=[i % self.config.num_units
                              for i in range(len(sites))],
+            telemetry=telemetry,
         )
         unit_results: List[UnitRunResult] = []
         transfers: List[float] = []
@@ -249,15 +258,19 @@ class AcceleratedIRSystem:
                     site.input_bytes() + site.output_bytes()
                 )
             )
+        transfer_cycles = [
+            self.config.dma.streaming_cycles(
+                site.input_bytes() + site.output_bytes(), self.config.clock
+            )
+            for site in sites
+        ]
         scheduled: List[ScheduledTarget] = []
         for round_index in range(replication):
             for index, result in enumerate(unit_results):
                 scheduled.append(
                     ScheduledTarget(
                         index=index,
-                        transfer_cycles=int(round(
-                            self.config.clock.seconds_to_cycles(transfers[index])
-                        )),
+                        transfer_cycles=transfer_cycles[index],
                         compute_cycles=(result.cycles.total
                                         + self.config.response_latency_cycles),
                     )
@@ -282,8 +295,12 @@ class AcceleratedIRSystem:
         timeline = schedule(scheduled, self.config.num_units,
                             self.config.scheduling,
                             resilience=resilience,
-                            dma_penalties=dma_penalties)
+                            dma_penalties=dma_penalties,
+                            telemetry=telemetry)
         total_seconds = self.config.clock.cycles_to_seconds(timeline.makespan)
+        if telemetry is not None:
+            self._record_run_counters(telemetry, sites, unit_results,
+                                      timeline, replication)
         return SystemRunResult(
             config=self.config,
             unit_results=unit_results,
@@ -293,6 +310,45 @@ class AcceleratedIRSystem:
             transfer_seconds=sum(transfers) * replication,
             replication=replication,
             resilience=(timeline.stats() if resilience is not None else None),
+        )
+
+
+    def _record_run_counters(self, telemetry, sites, unit_results,
+                             timeline, replication) -> None:
+        """Fold the kernel's WHD cell counts into the unit counters.
+
+        Each dispatch recomputes its site on the unit that ran it (the
+        scheduler's span/completion records name that unit), so cell
+        counters accumulate per dispatch, replication included.
+        """
+        totals = {"evaluated": 0, "pruned": 0}
+
+        def credit(unit: int, site_index: int) -> None:
+            result = unit_results[site_index]
+            block = telemetry.unit(unit)
+            pruned = result.unpruned_comparisons - result.comparisons
+            block.whd_cells_evaluated += result.comparisons
+            block.whd_cells_pruned += pruned
+            totals["evaluated"] += result.comparisons
+            totals["pruned"] += pruned
+
+        completion_units = getattr(timeline, "completion_units", None)
+        if completion_units is None:
+            # Fault-free scheduler: every timeline span is a completion.
+            for span in timeline.spans:
+                credit(span.unit, span.target_index)
+        else:
+            num_sites = len(unit_results)
+            for position, unit in completion_units.items():
+                credit(unit, position % num_sites)
+        telemetry.count("kernel.cells_evaluated", totals["evaluated"])
+        telemetry.count("kernel.cells_pruned", totals["pruned"])
+        telemetry.count("schedule.targets", len(sites) * replication)
+        telemetry.count(
+            "dma.bytes_planned",
+            replication * sum(
+                site.input_bytes() + site.output_bytes() for site in sites
+            ),
         )
 
 
@@ -316,7 +372,7 @@ class AcceleratedRealigner:
         self._front_half = IndelRealigner(reference)
 
     def realign(
-        self, reads: Sequence[Read]
+        self, reads: Sequence[Read], telemetry=None
     ) -> Tuple[List[Read], SystemRunResult, RealignerReport]:
         targets, windows = self._front_half.build_sites(reads)
         report = RealignerReport(
@@ -325,7 +381,7 @@ class AcceleratedRealigner:
             reads_examined=len(reads),
         )
         site_list = [window.site for window in windows]
-        run = self.system.run(site_list)
+        run = self.system.run(site_list, telemetry=telemetry)
         fallback = run.fallback_site_indices
         updates: Dict[str, Read] = {}
         for index, (window, result) in enumerate(zip(windows,

@@ -16,7 +16,7 @@ narrative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List
 
 from repro.core.accelerator import IRUnit, UnitConfig
@@ -27,6 +27,8 @@ from repro.core.scheduler import (
     schedule_sync,
 )
 from repro.experiments.reporting import banner, format_table
+from repro.telemetry import Telemetry
+from repro.telemetry.metrics import ScheduleMetrics, derive_schedule_metrics
 from repro.workloads.toy import NUM_TARGETS, figure7_toy_targets
 
 #: Figure 7 runs the toy on 4 units.
@@ -41,6 +43,10 @@ class Figure7Result:
     compute_cycles: List[int]
     sync: ScheduleResult
     async_: ScheduleResult
+    #: One telemetry session per scheme; every number main() prints is
+    #: read back from these recorders, not recomputed ad hoc.
+    sync_telemetry: Telemetry = field(default_factory=Telemetry)
+    async_telemetry: Telemetry = field(default_factory=Telemetry)
 
     @property
     def t3_over_t1(self) -> float:
@@ -49,6 +55,14 @@ class Figure7Result:
     @property
     def async_speedup(self) -> float:
         return self.sync.makespan / self.async_.makespan
+
+    @property
+    def sync_metrics(self) -> ScheduleMetrics:
+        return derive_schedule_metrics(self.sync_telemetry)
+
+    @property
+    def async_metrics(self) -> ScheduleMetrics:
+        return derive_schedule_metrics(self.async_telemetry)
 
 
 def run(seed: int = 22) -> Figure7Result:
@@ -59,11 +73,28 @@ def run(seed: int = 22) -> Figure7Result:
         ScheduledTarget(index=i, transfer_cycles=120, compute_cycles=c)
         for i, c in enumerate(cycles)
     ]
+    sync_telemetry, async_telemetry = Telemetry(), Telemetry()
     return Figure7Result(
         compute_cycles=cycles,
-        sync=schedule_sync(targets, NUM_UNITS),
-        async_=schedule_async(targets, NUM_UNITS),
+        sync=schedule_sync(targets, NUM_UNITS, telemetry=sync_telemetry),
+        async_=schedule_async(targets, NUM_UNITS,
+                              telemetry=async_telemetry),
+        sync_telemetry=sync_telemetry,
+        async_telemetry=async_telemetry,
     )
+
+
+def _scheme_rows(telemetry: Telemetry, metrics: ScheduleMetrics) -> list:
+    rows = []
+    for block in telemetry.counters.iter_units():
+        rows.append([
+            f"unit {block.unit}", block.busy_cycles, block.stall_cycles,
+            block.idle_cycles, block.targets_completed,
+            f"{block.occupancy:.0%}",
+        ])
+    rows.append(["(mean)", "", "", "", "",
+                 f"{metrics.mean_occupancy:.0%}"])
+    return rows
 
 
 def main() -> Figure7Result:
@@ -76,15 +107,31 @@ def main() -> Figure7Result:
     ))
     print(f"\ntarget3/target1 compute ratio: {outcome.t3_over_t1:.1f}x "
           f"(paper: ~{PAPER_T3_OVER_T1:.0f}x)")
+    sync_metrics = outcome.sync_metrics
+    async_metrics = outcome.async_metrics
+    counter_header = ["unit", "busy", "stall", "idle", "targets",
+                      "occupancy"]
     print("\nSynchronous-parallel (flush barrier between batches):")
     print(outcome.sync.ascii_timeline())
-    print(f"makespan {outcome.sync.makespan} cycles, "
-          f"utilization {outcome.sync.utilization:.1%}")
+    print(format_table(
+        counter_header,
+        _scheme_rows(outcome.sync_telemetry, sync_metrics),
+    ))
+    print(f"makespan {outcome.sync.makespan} cycles, channel utilization "
+          f"{sync_metrics.channel_utilization:.1%}, critical path "
+          f"{sync_metrics.critical_path_spans} spans")
     print("\nAsynchronous-parallel (launch on response):")
     print(outcome.async_.ascii_timeline())
-    print(f"makespan {outcome.async_.makespan} cycles, "
-          f"utilization {outcome.async_.utilization:.1%}")
-    print(f"\nasync over sync on this workload: {outcome.async_speedup:.2f}x")
+    print(format_table(
+        counter_header,
+        _scheme_rows(outcome.async_telemetry, async_metrics),
+    ))
+    print(f"makespan {outcome.async_.makespan} cycles, channel utilization "
+          f"{async_metrics.channel_utilization:.1%}, critical path "
+          f"{async_metrics.critical_path_spans} spans")
+    print(f"\nasync over sync on this workload: {outcome.async_speedup:.2f}x "
+          f"(occupancy {sync_metrics.mean_occupancy:.0%} -> "
+          f"{async_metrics.mean_occupancy:.0%})")
     return outcome
 
 

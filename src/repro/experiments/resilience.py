@@ -80,8 +80,15 @@ def run(
     seed: int = 42,
     chaos_seed: int = 1234,
     fleet_instances: int = 8,
+    telemetry_sessions: Optional[list] = None,
 ) -> ResilienceReport:
-    """Sweep the fault rate over one chromosome's bench workload."""
+    """Sweep the fault rate over one chromosome's bench workload.
+
+    When ``telemetry_sessions`` is a list, each rate's run records into
+    a fresh :class:`~repro.telemetry.Telemetry` session (labelled with
+    the rate) appended to it -- the caller can export the whole sweep
+    as one multi-process Chrome trace.
+    """
     census = next(
         c for c in CHROMOSOME_CENSUS if c.name == SWEEP_CHROMOSOME
     )
@@ -108,8 +115,14 @@ def run(
             name="IR ACC", lanes=32, scheduling="async",
             resilience=resilience,
         )
+        telemetry = None
+        if telemetry_sessions is not None:
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry(label=f"fault rate {rate:.0%}")
+            telemetry_sessions.append(telemetry)
         outcome = AcceleratedIRSystem(config).run(
-            sites, replication=replication
+            sites, replication=replication, telemetry=telemetry
         )
         row = ResilienceRow(
             fault_rate=rate,
@@ -140,12 +153,15 @@ def main(
     sites_per_chromosome: int = 48,
     replication: int = 4,
     chaos_seed: int = 1234,
+    trace_out=None,
 ) -> ResilienceReport:
+    sessions: Optional[list] = [] if trace_out is not None else None
     report = run(
         fault_rates=fault_rates,
         sites_per_chromosome=sites_per_chromosome,
         replication=replication,
         chaos_seed=chaos_seed,
+        telemetry_sessions=sessions,
     )
     print(banner("ResilienceReport: speedup vs. injected fault rate"))
     print(f"chr{SWEEP_CHROMOSOME} bench workload, {report.num_targets} "
@@ -164,6 +180,11 @@ def main(
           f"{report.worst_speedup:.1f}x under "
           f"{max(r.fault_rate for r in report.rows):.0%} chaos "
           f"({'graceful' if report.degrades_gracefully else 'COLLAPSED'})")
+    if sessions:
+        from repro.telemetry import write_chrome_trace
+
+        write_chrome_trace(sessions, trace_out)
+        print(f"trace ({len(sessions)} sessions) -> {trace_out}")
     return report
 
 

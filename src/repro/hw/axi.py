@@ -83,6 +83,11 @@ class MmioRegisterFile:
     response_depth: int = 16
     _commands: Deque[int] = field(default_factory=deque)
     _responses: Deque[int] = field(default_factory=deque)
+    #: Optional repro.telemetry.Telemetry recorder; when set, every
+    #: queue operation increments an ``mmio.*`` counter (None = no
+    #: overhead beyond one attribute check per access).
+    telemetry: Optional[object] = field(default=None, repr=False,
+                                        compare=False)
 
     @property
     def command_ready(self) -> bool:
@@ -97,20 +102,34 @@ class MmioRegisterFile:
         if not self.command_ready:
             raise QueueFullError("MMIO command queue full")
         self._commands.append(encoded)
+        if self.telemetry is not None:
+            self.telemetry.count("mmio.commands_pushed")
 
     def pop_command(self) -> Optional[int]:
         """Fabric side: dequeue the next command, if any."""
-        return self._commands.popleft() if self._commands else None
+        if not self._commands:
+            return None
+        if self.telemetry is not None:
+            self.telemetry.count("mmio.commands_popped")
+        return self._commands.popleft()
 
     def push_response(self, payload: int) -> None:
         """Fabric side: post a completion response."""
         if len(self._responses) >= self.response_depth:
             raise QueueFullError("MMIO response queue full")
         self._responses.append(payload)
+        if self.telemetry is not None:
+            self.telemetry.count("mmio.responses_pushed")
 
     def poll_response(self) -> Optional[int]:
         """Host side: pop a response if ``response_valid``."""
-        return self._responses.popleft() if self._responses else None
+        if not self._responses:
+            if self.telemetry is not None:
+                self.telemetry.count("mmio.empty_polls")
+            return None
+        if self.telemetry is not None:
+            self.telemetry.count("mmio.responses_polled")
+        return self._responses.popleft()
 
     def pending_commands(self) -> int:
         return len(self._commands)

@@ -43,6 +43,10 @@ class ClockRecipe:
             raise ValueError("duration must be non-negative")
         return seconds * self.frequency_hz
 
+    def cycles_to_microseconds(self, cycles: float) -> float:
+        """Cycle timestamps in trace-viewer units (Perfetto uses us)."""
+        return self.cycles_to_seconds(cycles) * 1e6
+
 
 #: The deployed design point: timing closes with >90% routing delay.
 F1_CLOCK_125MHZ = ClockRecipe(

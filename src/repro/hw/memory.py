@@ -58,6 +58,18 @@ class PcieDmaModel:
             raise ValueError("byte count must be non-negative")
         return num_bytes / self.bandwidth_bytes_per_s
 
+    def streaming_cycles(self, num_bytes: int, clock) -> int:
+        """:meth:`streaming_seconds` in whole cycles of ``clock``.
+
+        The system model and the protocol-level simulator both charge
+        transfers to the cycle timeline this way; the telemetry layer's
+        channel spans use the same rounding so transfer spans tile the
+        channel track exactly.
+        """
+        return int(round(clock.seconds_to_cycles(
+            self.streaming_seconds(num_bytes)
+        )))
+
     def faulted_transfer_seconds(self, num_bytes: int, outcome: str) -> float:
         """Wall-clock charged to a transfer attempt with a given fate.
 

@@ -121,6 +121,41 @@ def fleet_size_for_deadline(
     return None
 
 
+def record_fleet_spans(telemetry, plan: FleetPlan,
+                       preempted: Optional["PreemptedFleetResult"] = None,
+                       ) -> None:
+    """Record a fleet plan as a span timeline (one track per instance).
+
+    Jobs run back-to-back in assignment (LPT) order, so each instance's
+    track tiles from zero to its busy time; passing the matching
+    ``preempted`` replay additionally marks each reclamation with an
+    instant event at its cut point. Fleet timelines tick in *seconds*
+    (``ticks_per_second=1``), unlike the cycle-model traces.
+    """
+    from repro.telemetry.spans import CAT_FLEET
+
+    if telemetry.ticks_per_second is None:
+        telemetry.ticks_per_second = 1.0
+    for index, jobs in sorted(plan.assignments.items()):
+        track = f"instance {index}"
+        clock = 0.0
+        for job in jobs:
+            telemetry.span(job.name, track, clock, clock + job.seconds,
+                           CAT_FLEET)
+            clock += job.seconds
+    telemetry.count("fleet.instances", plan.num_instances)
+    telemetry.count("fleet.jobs",
+                    sum(len(jobs) for jobs in plan.assignments.values()))
+    if preempted is not None:
+        for event in preempted.events:
+            telemetry.instant("spot reclaimed",
+                              f"instance {event.instance}",
+                              event.at_seconds, "preemption")
+        telemetry.count("fleet.preemptions", len(preempted.events))
+        telemetry.count("fleet.jobs_rescheduled",
+                        len(preempted.rescheduled))
+
+
 @dataclass(frozen=True)
 class PreemptionEvent:
     """One spot reclamation: instance ``instance`` dies at ``at_seconds``."""

@@ -233,11 +233,30 @@ class SiteResult:
 
 
 def realign_site(site: RealignmentSite, vectorized: bool = True,
-                 scoring: str = "similarity") -> SiteResult:
-    """Run Algorithms 1 and 2 on one site."""
+                 scoring: str = "similarity",
+                 telemetry=None) -> SiteResult:
+    """Run Algorithms 1 and 2 on one site.
+
+    ``telemetry`` optionally records ``kernel.*`` counters. They are
+    defined on the algorithm's *semantics*, not its implementation --
+    offsets evaluated, grid cells filled, the grid's WHD mass, reads
+    realigned -- so the vectorized and scalar datapaths must report
+    identical numbers for the same site (a property test pins this).
+    """
     min_whd, min_idx = min_whd_grid(site, vectorized=vectorized)
     best_cons, scores = score_and_select(min_whd, method=scoring)
     realign, new_pos = reads_realignments(min_whd, min_idx, best_cons, site.start)
+    if telemetry is not None:
+        telemetry.count("kernel.sites", 1)
+        telemetry.count("kernel.grid_cells", int(min_whd.size))
+        telemetry.count("kernel.offsets_evaluated", sum(
+            len(cons) - len(read) + 1
+            for cons in site.consensuses
+            for read in site.reads
+        ))
+        telemetry.count("kernel.whd_mass", int(min_whd.sum()))
+        telemetry.count("kernel.reads_realigned", int(realign.sum()))
+        telemetry.count("kernel.consensus_selected", int(best_cons))
     return SiteResult(
         best_cons=best_cons,
         scores=scores,

@@ -48,6 +48,7 @@ from repro.resilience.health import (
     UnitHealth,
 )
 from repro.resilience.policy import ResilienceConfig, ResilienceError
+from repro.telemetry.spans import unit_track
 
 #: Unit id recorded on software-fallback spans (the host CPU).
 HOST_UNIT = -1
@@ -68,6 +69,8 @@ class ResilientScheduleResult(ScheduleResult):
     counters: FaultCounters = field(default_factory=FaultCounters)
     unit_health: List[UnitHealth] = field(default_factory=list)
     completions: Dict[int, str] = field(default_factory=dict)
+    #: Where each position completed: unit id, or HOST_UNIT for software.
+    completion_units: Dict[int, int] = field(default_factory=dict)
     quarantined_units: List[int] = field(default_factory=list)
     fallback_spans: List[TimelineSpan] = field(default_factory=list)
     hardware_makespan: int = 0
@@ -93,6 +96,7 @@ def schedule_with_recovery(
     num_units: int,
     config: ResilienceConfig,
     dma_penalties: Optional[Sequence[Tuple[int, int]]] = None,
+    telemetry=None,
 ) -> ResilientScheduleResult:
     """Schedule ``targets`` under ``config``'s fault plan and policies.
 
@@ -102,6 +106,13 @@ def schedule_with_recovery(
     :meth:`repro.hw.memory.PcieDmaModel.faulted_transfer_seconds`);
     without it, an error wastes the target's own transfer cycles and a
     timeout wastes the watchdog's view of them.
+
+    ``telemetry`` optionally records the full attempt timeline: clean
+    dispatches emit the *same* compute/transfer spans as
+    :func:`~repro.core.scheduler.schedule_async` (a fault-free run's
+    span set is identical, pinned by tests); failed attempts, faulted
+    DMA transfers, software fallbacks, watchdog expirations, and
+    quarantines each get their own spans/instants and counters.
     """
     if num_units <= 0:
         raise ValueError("num_units must be positive")
@@ -151,6 +162,14 @@ def schedule_with_recovery(
         )
         result.counters.fallbacks += 1
         result.completions[pos] = "sw"
+        result.completion_units[pos] = HOST_UNIT
+        if telemetry is not None:
+            telemetry.span(f"target {target.index} (sw)", "host-sw",
+                           start, host_sw_time, "fallback")
+            telemetry.count("recovery.fallbacks")
+            host_block = telemetry.unit(HOST_UNIT)
+            host_block.busy_cycles += cycles
+            host_block.targets_completed += 1
 
     while work:
         ready, _, pos, attempt = heapq.heappop(work)
@@ -175,12 +194,25 @@ def schedule_with_recovery(
                 error_cycles if dma_fault.kind is FaultKind.DMA_ERROR
                 else timeout_cycles
             )
-            channel_time = max(channel_time, ready) + penalty
+            faulted_start = max(channel_time, ready)
+            channel_time = faulted_start + penalty
             result.dma_penalty_cycles += penalty
+            if telemetry is not None:
+                telemetry.span(
+                    f"dma {dma_fault.kind.value} {target.index}",
+                    "pcie-channel", faulted_start, channel_time, "faulted",
+                    attempt=attempt,
+                )
+                telemetry.count("dma.penalty_cycles", penalty)
+                telemetry.count(f"dma.faults.{dma_fault.kind.value}")
             requeue(pos, attempt, channel_time)
             continue
-        channel_time = max(channel_time, ready) + target.transfer_cycles
+        xfer_start = max(channel_time, ready)
+        channel_time = xfer_start + target.transfer_cycles
         result.transfer_cycles_total += target.transfer_cycles
+        if telemetry is not None:
+            telemetry.span(f"xfer {target.index}", "pcie-channel",
+                           xfer_start, channel_time, "transfer")
 
         # -- dispatch attempt on the earliest-free unit -----------------
         unit_free, unit = heapq.heappop(free)
@@ -216,16 +248,34 @@ def schedule_with_recovery(
         if watchdog_fired:
             bank.expire(unit)
             result.counters.watchdog_expirations += 1
+            if telemetry is not None:
+                telemetry.instant("watchdog expired", unit_track(unit),
+                                  end, "recovery", target=target.index,
+                                  attempt=attempt)
+                telemetry.count("recovery.watchdog_expirations")
         else:
             bank.disarm(unit)
         if success:
             health.record_success(end - start)
             result.completions[pos] = "hw"
+            result.completion_units[pos] = unit
             heapq.heappush(free, (end, unit))
+            if telemetry is not None:
+                telemetry.span(f"target {target.index}", unit_track(unit),
+                               start, end, "compute")
+                telemetry.unit(unit).targets_completed += 1
             continue
         health.record_failure(end - start)
         freed_at = end + watchdog.reset_cycles
         requeue(pos, attempt, freed_at)
+        if telemetry is not None:
+            telemetry.span(
+                f"target {target.index} (attempt {attempt})",
+                unit_track(unit), start, end, "faulted",
+                attempt=attempt,
+            )
+            telemetry.unit(unit).retries += 1
+            telemetry.count("recovery.retries")
         if (health.consecutive_failures
                 >= config.quarantine.failure_threshold
                 and active_units - 1 >= config.quarantine.min_active_units):
@@ -233,6 +283,11 @@ def schedule_with_recovery(
             active_units -= 1
             result.counters.quarantined_units += 1
             result.quarantined_units.append(unit)
+            if telemetry is not None:
+                telemetry.instant("quarantined", unit_track(unit),
+                                  freed_at, "recovery")
+                telemetry.unit(unit).quarantined = True
+                telemetry.count("recovery.quarantined_units")
         else:
             heapq.heappush(free, (freed_at, unit))
 
@@ -240,4 +295,14 @@ def schedule_with_recovery(
         (span.end for span in result.spans), default=0
     )
     result.makespan = max(result.hardware_makespan, host_sw_time)
+    if telemetry is not None:
+        # Busy/idle/stall from the attempt timeline (failed attempts
+        # occupy their unit, so they count as busy); completions were
+        # counted per successful dispatch above.
+        telemetry.finalize_unit_cycles(result, count_completions=False)
+        host_block = telemetry.counters.units.get(HOST_UNIT)
+        if host_block is not None:
+            host_block.idle_cycles = (
+                result.makespan - host_block.busy_cycles
+            )
     return result

@@ -1,0 +1,107 @@
+"""Regenerate the golden regression files in this directory.
+
+The goldens pin the realigner's *exact* observable output -- final SAM
+coordinates and per-site WHD grids -- so that any behavioural drift in
+the kernel, the consensus selector, or the realigner plumbing fails
+tests loudly instead of slipping through as a "small numeric change".
+
+Run deliberately, from the repo root, ONLY when an intentional
+behaviour change has been reviewed:
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+and commit the regenerated JSON together with the change that caused
+it, explaining the drift in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: Keep generation parameters in one place: tests import these so the
+#: recomputation always matches what regenerate.py wrote.
+REALIGN_PARAMS = {
+    "contig": "chr22",
+    "length": 12_000,
+    "coverage": 18.0,
+    "indel_rate": 1.5e-3,
+    "seed": 7,
+}
+
+SITE_SEED = 2019
+SITE_COMPLEXITIES = (0.5, 0.75, 1.0, 1.25, 1.5, 2.0)
+
+
+def realigned_sam_golden() -> dict:
+    """Exact post-realignment (name, pos, cigar) for every read."""
+    from repro.genomics.simulate import SimulationProfile, simulate_sample
+    from repro.realign.realigner import IndelRealigner
+
+    params = REALIGN_PARAMS
+    profile = SimulationProfile(
+        coverage=params["coverage"], indel_rate=params["indel_rate"],
+    )
+    sample = simulate_sample(
+        {params["contig"]: params["length"]},
+        profile=profile, seed=params["seed"],
+    )
+    updated, report = IndelRealigner(sample.reference).realign(sample.reads)
+    return {
+        "params": params,
+        "targets_identified": report.targets_identified,
+        "sites_built": report.sites_built,
+        "reads_realigned": report.reads_realigned,
+        "reads": [
+            {
+                "name": read.name,
+                "pos": read.pos,
+                "cigar": str(read.cigar) if read.cigar is not None else None,
+            }
+            for read in updated
+        ],
+    }
+
+
+def site_results_golden() -> dict:
+    """Exact SiteResult grids for a spread of synthetic sites."""
+    import numpy as np
+
+    from repro.realign.whd import realign_site
+    from repro.workloads.generator import BENCH_PROFILE, synthesize_site
+
+    rng = np.random.default_rng(SITE_SEED)
+    entries = []
+    for index, complexity in enumerate(SITE_COMPLEXITIES):
+        site = synthesize_site(rng, BENCH_PROFILE, complexity=complexity)
+        result = realign_site(site, vectorized=True)
+        entries.append({
+            "site": index,
+            "complexity": complexity,
+            "num_consensuses": int(result.min_whd.shape[0]),
+            "num_reads": int(result.min_whd.shape[1]),
+            "best_cons": int(result.best_cons),
+            "scores": result.scores.tolist(),
+            "min_whd": result.min_whd.tolist(),
+            "min_whd_idx": result.min_whd_idx.tolist(),
+            "realign": [bool(x) for x in result.realign],
+            "new_pos": result.new_pos.tolist(),
+        })
+    return {"seed": SITE_SEED, "sites": entries}
+
+
+def main() -> None:
+    targets = {
+        "realigned_sam.json": realigned_sam_golden(),
+        "site_results.json": site_results_golden(),
+    }
+    for name, payload in targets.items():
+        path = GOLDEN_DIR / name
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

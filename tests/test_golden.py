@@ -1,0 +1,175 @@
+"""Golden-file regression tests: exact realigner output, pinned.
+
+These tests recompute the realigner's observable output and compare it
+*exactly* against the JSON goldens in ``tests/golden/``. Any drift --
+one read landing one base off, one WHD cell changing -- fails with a
+message naming the first divergent record.
+
+If a behaviour change is intentional, regenerate the goldens
+deliberately and commit them with the change:
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+sys.path.insert(0, str(GOLDEN_DIR))
+
+from regenerate import (  # noqa: E402  (needs the path hack above)
+    REALIGN_PARAMS,
+    SITE_COMPLEXITIES,
+    SITE_SEED,
+    realigned_sam_golden,
+    site_results_golden,
+)
+
+REGEN_HINT = (
+    "If this drift is an intentional behaviour change, regenerate with "
+    "`PYTHONPATH=src python tests/golden/regenerate.py` and commit the "
+    "new goldens alongside the change."
+)
+
+
+def _load(name: str) -> dict:
+    path = GOLDEN_DIR / name
+    assert path.exists(), (
+        f"golden file {path} is missing -- run tests/golden/regenerate.py"
+    )
+    return json.loads(path.read_text())
+
+
+class TestRealignedSamGolden:
+    @pytest.fixture(scope="class")
+    def recomputed(self):
+        return realigned_sam_golden()
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return _load("realigned_sam.json")
+
+    def test_parameters_match_golden(self, recomputed, golden):
+        assert recomputed["params"] == golden["params"], (
+            "regenerate.py parameters changed without regenerating the "
+            f"golden. {REGEN_HINT}"
+        )
+
+    def test_report_counts(self, recomputed, golden):
+        for key in ("targets_identified", "sites_built", "reads_realigned"):
+            assert recomputed[key] == golden[key], (
+                f"realigner {key} drifted: golden {golden[key]}, "
+                f"got {recomputed[key]}. {REGEN_HINT}"
+            )
+
+    def test_every_read_position_and_cigar(self, recomputed, golden):
+        assert len(recomputed["reads"]) == len(golden["reads"]), (
+            f"read count drifted: golden {len(golden['reads'])}, got "
+            f"{len(recomputed['reads'])}. {REGEN_HINT}"
+        )
+        for index, (got, want) in enumerate(
+            zip(recomputed["reads"], golden["reads"])
+        ):
+            assert got == want, (
+                f"read #{index} ({want['name']}) drifted: expected "
+                f"pos={want['pos']} cigar={want['cigar']}, got "
+                f"pos={got['pos']} cigar={got['cigar']}. {REGEN_HINT}"
+            )
+
+    def test_accelerated_path_matches_the_same_golden(self, golden):
+        """The FPGA system model must land every read where the golden
+        (software) realigner does -- HW/SW equivalence, pinned to disk."""
+        from repro.core.system import AcceleratedRealigner, SystemConfig
+        from repro.genomics.simulate import SimulationProfile, simulate_sample
+
+        params = golden["params"]
+        sample = simulate_sample(
+            {params["contig"]: params["length"]},
+            profile=SimulationProfile(
+                coverage=params["coverage"],
+                indel_rate=params["indel_rate"],
+            ),
+            seed=params["seed"],
+        )
+        realigner = AcceleratedRealigner(sample.reference,
+                                         SystemConfig.iracc())
+        updated, _run, _report = realigner.realign(sample.reads)
+        for index, (read, want) in enumerate(zip(updated, golden["reads"])):
+            got = {
+                "name": read.name,
+                "pos": read.pos,
+                "cigar": str(read.cigar) if read.cigar is not None else None,
+            }
+            assert got == want, (
+                f"accelerated read #{index} ({want['name']}) diverged "
+                f"from the golden software output: expected "
+                f"pos={want['pos']} cigar={want['cigar']}, got "
+                f"pos={got['pos']} cigar={got['cigar']}. {REGEN_HINT}"
+            )
+
+
+class TestSiteResultGolden:
+    @pytest.fixture(scope="class")
+    def recomputed(self):
+        return site_results_golden()
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return _load("site_results.json")
+
+    def test_parameters_match_golden(self, golden):
+        assert golden["seed"] == SITE_SEED
+        assert [e["complexity"] for e in golden["sites"]] == list(
+            SITE_COMPLEXITIES
+        )
+
+    def test_every_grid_cell(self, recomputed, golden):
+        assert len(recomputed["sites"]) == len(golden["sites"])
+        for got, want in zip(recomputed["sites"], golden["sites"]):
+            label = (f"site {want['site']} "
+                     f"(complexity {want['complexity']})")
+            for key in ("num_consensuses", "num_reads", "best_cons"):
+                assert got[key] == want[key], (
+                    f"{label}: {key} drifted, expected {want[key]}, got "
+                    f"{got[key]}. {REGEN_HINT}"
+                )
+            for key in ("scores", "realign", "new_pos"):
+                assert got[key] == want[key], (
+                    f"{label}: {key} drifted. expected {want[key]}, got "
+                    f"{got[key]}. {REGEN_HINT}"
+                )
+            for key in ("min_whd", "min_whd_idx"):
+                got_grid = np.asarray(got[key])
+                want_grid = np.asarray(want[key])
+                if not np.array_equal(got_grid, want_grid):
+                    bad = np.argwhere(got_grid != want_grid)[0]
+                    c, r = int(bad[0]), int(bad[1])
+                    pytest.fail(
+                        f"{label}: {key}[{c}, {r}] drifted: expected "
+                        f"{want_grid[c, r]}, got {got_grid[c, r]}. "
+                        f"{REGEN_HINT}"
+                    )
+
+    def test_scalar_kernel_reproduces_golden_grids(self, golden):
+        """The scalar (hardware-shaped) kernel must hit the same grids
+        the vectorized kernel wrote into the golden."""
+        from repro.realign.whd import realign_site
+        from repro.workloads.generator import BENCH_PROFILE, synthesize_site
+
+        rng = np.random.default_rng(golden["seed"])
+        for want in golden["sites"]:
+            site = synthesize_site(rng, BENCH_PROFILE,
+                                   complexity=want["complexity"])
+            result = realign_site(site, vectorized=False)
+            assert result.min_whd.tolist() == want["min_whd"], (
+                f"scalar kernel min_whd drifted from golden on site "
+                f"{want['site']}. {REGEN_HINT}"
+            )
+            assert int(result.best_cons) == want["best_cons"]
+            assert result.new_pos.tolist() == want["new_pos"]
