@@ -27,6 +27,9 @@ Examples::
     python -m repro realign --reference /tmp/sample/reference.fa \
         --sam /tmp/sample/aligned.sam --out /tmp/sample/realigned.sam \
         --accelerated --fault-rate 0.1 --chaos-seed 7
+    python -m repro realign --reference /tmp/sample/reference.fa \
+        --sam /tmp/sample/aligned.sam --out /tmp/sample/realigned.sam \
+        --workers 4 --batch 12
     python -m repro trace --out /tmp/trace.json --fault-rate 0.1
 """
 
@@ -195,6 +198,13 @@ def _cmd_realign(args: argparse.Namespace) -> int:
         print("error: --fault-rate requires --accelerated (chaos mode "
               "injects faults into the FPGA system model)", file=sys.stderr)
         return 2
+    if args.workers < 1 or args.batch < 1:
+        print("error: --workers and --batch must be >= 1", file=sys.stderr)
+        return 2
+    from repro.engine import EngineConfig
+
+    engine = EngineConfig(workers=args.workers, batch=args.batch,
+                          prefilter=args.prefilter)
     reference = read_reference(args.reference)
     reads = read_sam(args.sam)
     if args.accelerated:
@@ -212,7 +222,9 @@ def _cmd_realign(args: argparse.Namespace) -> int:
             from repro.telemetry import Telemetry
 
             telemetry = Telemetry(label=config.name)
-        realigner = AcceleratedRealigner(reference, config)
+        # The engine serves any targets that drain to the software
+        # fallback under chaos; fault-free runs never touch it.
+        realigner = AcceleratedRealigner(reference, config, engine=engine)
         updated, run, report = realigner.realign(reads, telemetry=telemetry)
         print(f"accelerated run: {run.total_seconds * 1e3:.2f} modelled ms, "
               f"{run.pruned_fraction:.0%} of comparisons pruned")
@@ -231,7 +243,10 @@ def _cmd_realign(args: argparse.Namespace) -> int:
             print("error: --telemetry requires --accelerated (the software "
                   "realigner has no hardware timeline)", file=sys.stderr)
             return 2
-        updated, report = IndelRealigner(reference).realign(reads)
+        updated, report = IndelRealigner(reference,
+                                         engine=engine).realign(reads)
+        print(f"engine: workers={args.workers} batch={args.batch} "
+              f"prefilter={'on' if args.prefilter else 'off'}")
     write_sam(updated, args.out, reference)
     print(f"{report.targets_identified} targets, {report.sites_built} sites, "
           f"{report.reads_realigned} reads realigned -> {args.out}")
@@ -249,6 +264,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if not 0.0 <= args.fault_rate <= 1.0:
         print(f"error: --fault-rate must be in [0, 1], got {args.fault_rate}",
               file=sys.stderr)
+        return 2
+    if args.workers < 1 or args.batch < 1:
+        print("error: --workers and --batch must be >= 1", file=sys.stderr)
         return 2
     census = next(c for c in CHROMOSOME_CENSUS if c.name == "21")
     sites = chromosome_workload(
@@ -305,6 +323,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         fleet_session = Telemetry(label="fleet")
         record_fleet_spans(fleet_session, plan, preempted)
         sessions.append(fleet_session)
+    # Host-side batched engine session: the same workload through the
+    # software engine, with shard spans + prefilter counters recorded.
+    from repro.engine import Engine, EngineConfig
+
+    engine_session = Telemetry(label="engine")
+    with Engine(EngineConfig(workers=args.workers, batch=args.batch,
+                             prefilter=args.prefilter)) as engine:
+        engine.run_sites(sites, telemetry=engine_session)
+    sessions.append(engine_session)
     write_chrome_trace(sessions, args.out)
     for session in sessions:
         if session.label == "fleet":
@@ -312,6 +339,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(f"[fleet] {flat.get('fleet.jobs', 0)} jobs on "
                   f"{flat.get('fleet.instances', 0)} instances, "
                   f"{flat.get('fleet.preemptions', 0)} preemptions")
+            continue
+        if session.label == "engine":
+            flat = session.counters.flat()
+            evaluated = flat.get("kernel.cells_evaluated", 0)
+            pruned = flat.get("kernel.cells_pruned", 0)
+            valid = evaluated + pruned
+            fraction = pruned / valid if valid else 0.0
+            print(f"[engine] {flat.get('kernel.sites', 0)} sites on "
+                  f"{flat.get('engine.shards', 0)} shards "
+                  f"({args.workers} workers), "
+                  f"{fraction:.1%} of WHD cells pruned")
             continue
         metrics = derive_schedule_metrics(session)
         print(f"[{session.label}] {metrics.describe()}")
@@ -388,6 +426,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome trace of the accelerated run "
              "(requires --accelerated)",
     )
+    _add_engine_flags(realign)
 
     trace = sub.add_parser(
         "trace",
@@ -409,7 +448,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seed for the deterministic FaultPlan")
     trace.add_argument("--fleet", type=int, default=0,
                        help="add a fleet session with this many instances")
+    _add_engine_flags(trace)
     return parser
+
+
+def _add_engine_flags(subparser: argparse.ArgumentParser) -> None:
+    """Batched-engine knobs shared by ``realign`` and ``trace``."""
+    subparser.add_argument(
+        "--workers", type=int, default=1,
+        help="engine worker processes (1 = in-process, no pool)",
+    )
+    subparser.add_argument(
+        "--batch", type=int, default=8,
+        help="sites per engine shard (work-stealing chunk size)",
+    )
+    subparser.add_argument(
+        "--no-prefilter", dest="prefilter", action="store_false",
+        help="disable the GateKeeper-style pre-alignment filter",
+    )
 
 
 def main(argv=None) -> int:

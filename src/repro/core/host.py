@@ -145,6 +145,7 @@ def plan_targets(
     sites: Sequence[RealignmentSite],
     ddr: DdrChannelModel = DdrChannelModel(),
     unit_assignment: Sequence[int] = (),
+    dispatch_batch: int = 1,
     telemetry=None,
 ) -> HostPlan:
     """Lay out every site's buffers in FPGA DRAM and build its commands.
@@ -152,9 +153,15 @@ def plan_targets(
     ``unit_assignment`` optionally names the unit each target's command
     stream addresses (defaults to round-robin over 32, matching the
     dispatch order of the asynchronous scheduler's steady state).
+    ``dispatch_batch`` is the host's transfer-coalescing group size (see
+    :func:`repro.core.scheduler.coalesce_transfers`); it changes no
+    buffer layout or command stream -- groups share DMA bursts, not
+    memory -- but is accounted as ``host.batches_planned``.
     ``telemetry`` optionally counts the plan's footprint (commands
     generated, bytes allocated) on the host's counter namespace.
     """
+    if dispatch_batch <= 0:
+        raise ValueError("dispatch_batch must be positive")
     plan = HostPlan()
     cursor = 0
 
@@ -200,4 +207,8 @@ def plan_targets(
         telemetry.count("host.commands_planned", plan.total_commands)
         telemetry.count("host.bytes_allocated", plan.bytes_allocated)
         telemetry.count("host.config_cycles", plan.config_cycles())
+        telemetry.count(
+            "host.batches_planned",
+            -(-len(plan.targets) // dispatch_batch) if plan.targets else 0,
+        )
     return plan

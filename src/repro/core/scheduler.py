@@ -100,6 +100,39 @@ class ScheduleResult:
         return "\n".join(lines)
 
 
+def coalesce_transfers(
+    targets: Sequence[ScheduledTarget], batch_size: int
+) -> List[ScheduledTarget]:
+    """Merge each group of ``batch_size`` consecutive targets' transfers.
+
+    Models the host's batched dispatch (Section V-A step 2 at a coarser
+    granularity): a whole group's input arrays are DMA'd as one large
+    chunk before the group launches, so the group's first target carries
+    the summed transfer cycles and the rest ride along for free. Total
+    channel occupancy is preserved -- only its packing changes -- which
+    is what lets the asynchronous scheduler overlap one group's compute
+    with the next group's single, larger transfer. ``batch_size == 1``
+    returns the targets unchanged.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if batch_size == 1:
+        return list(targets)
+    out: List[ScheduledTarget] = []
+    for lo in range(0, len(targets), batch_size):
+        group = targets[lo:lo + batch_size]
+        total = sum(t.transfer_cycles for t in group)
+        for pos, target in enumerate(group):
+            out.append(
+                ScheduledTarget(
+                    index=target.index,
+                    transfer_cycles=total if pos == 0 else 0,
+                    compute_cycles=target.compute_cycles,
+                )
+            )
+    return out
+
+
 def schedule_sync(
     targets: Sequence[ScheduledTarget], num_units: int, telemetry=None
 ) -> ScheduleResult:

@@ -24,7 +24,12 @@ import numpy as np
 
 from repro.core.accelerator import IRUnit, UnitConfig, UnitRunResult
 from repro.core.host import HostPlan, plan_targets
-from repro.core.scheduler import ScheduledTarget, ScheduleResult, schedule
+from repro.core.scheduler import (
+    ScheduledTarget,
+    ScheduleResult,
+    coalesce_transfers,
+    schedule,
+)
 from repro.genomics.read import Read
 from repro.genomics.reference import ReferenceGenome
 from repro.hw.clock import ClockRecipe, F1_CLOCK_125MHZ
@@ -58,6 +63,13 @@ class SystemConfig:
     # the next target's start (Section IV's asynchronous scheme). ~1 us
     # of PCIe round-trip at 125 MHz.
     response_latency_cycles: int = 125
+    # Batched dispatch: the host coalesces the DMA transfers of
+    # ``dispatch_batch`` consecutive targets into one burst and answers
+    # the whole group with a single response-poll turnaround (charged to
+    # the group's last target). 1 (the default) reproduces the paper's
+    # per-target dispatch exactly; larger groups amortize host overhead
+    # the way the batched software engine amortizes kernel overhead.
+    dispatch_batch: int = 1
     # Fault tolerance: a ResilienceConfig switches the run into chaos
     # mode -- its FaultPlan injects faults, and the watchdog/retry/
     # quarantine/fallback machinery recovers from them. None (default)
@@ -67,6 +79,8 @@ class SystemConfig:
     def __post_init__(self) -> None:
         if self.num_units <= 0:
             raise ValueError("num_units must be positive")
+        if self.dispatch_batch <= 0:
+            raise ValueError("dispatch_batch must be positive")
         if self.scheduling not in ("sync", "async"):
             raise ValueError(f"unknown scheduling scheme {self.scheduling!r}")
         if self.resilience is not None and self.scheduling != "async":
@@ -247,6 +261,7 @@ class AcceleratedIRSystem:
             sites,
             unit_assignment=[i % self.config.num_units
                              for i in range(len(sites))],
+            dispatch_batch=self.config.dispatch_batch,
             telemetry=telemetry,
         )
         unit_results: List[UnitRunResult] = []
@@ -265,16 +280,28 @@ class AcceleratedIRSystem:
             for site in sites
         ]
         scheduled: List[ScheduledTarget] = []
+        batch = self.config.dispatch_batch
         for round_index in range(replication):
+            round_targets: List[ScheduledTarget] = []
             for index, result in enumerate(unit_results):
-                scheduled.append(
+                # Batched dispatch answers a whole group with one poll
+                # turnaround, charged to the group's last member; with
+                # batch == 1 every target is its group's last, which is
+                # exactly the paper's per-target dispatch.
+                last_in_group = (
+                    index % batch == batch - 1
+                    or index == len(unit_results) - 1
+                )
+                latency = (self.config.response_latency_cycles
+                           if last_in_group else 0)
+                round_targets.append(
                     ScheduledTarget(
                         index=index,
                         transfer_cycles=transfer_cycles[index],
-                        compute_cycles=(result.cycles.total
-                                        + self.config.response_latency_cycles),
+                        compute_cycles=result.cycles.total + latency,
                     )
                 )
+            scheduled.extend(coalesce_transfers(round_targets, batch))
         resilience = self.config.resilience
         dma_penalties = None
         if resilience is not None:
@@ -366,10 +393,36 @@ class AcceleratedRealigner:
         self,
         reference: ReferenceGenome,
         config: Optional[SystemConfig] = None,
+        engine=None,
     ):
+        """``engine`` optionally names the software kernel that serves
+        fallback sites (targets that exhaust hardware recovery): an
+        :class:`repro.engine.EngineConfig` (its ``scoring`` is overridden
+        by the system config's) or a live :class:`repro.engine.Engine`.
+        None (the default) keeps the per-site scalar fallback."""
         self.reference = reference
         self.system = AcceleratedIRSystem(config)
         self._front_half = IndelRealigner(reference)
+        self.engine = engine
+        self._engine = None
+
+    def _engine_instance(self):
+        if self.engine is None:
+            return None
+        if self._engine is None:
+            from repro.engine import Engine, EngineConfig
+
+            if isinstance(self.engine, Engine):
+                self._engine = self.engine
+            elif isinstance(self.engine, EngineConfig):
+                self._engine = Engine(
+                    replace(self.engine, scoring=self.system.config.scoring)
+                )
+            else:
+                raise TypeError(
+                    "engine must be an EngineConfig, an Engine, or None"
+                )
+        return self._engine
 
     def realign(
         self, reads: Sequence[Read], telemetry=None
@@ -383,17 +436,33 @@ class AcceleratedRealigner:
         site_list = [window.site for window in windows]
         run = self.system.run(site_list, telemetry=telemetry)
         fallback = run.fallback_site_indices
+        fallback_results: Dict[int, "SiteResult"] = {}
+        if fallback:
+            # Graceful degradation: these targets exhausted hardware
+            # recovery, so their decisions come from the software
+            # kernel -- bit-identical to the unit's by construction
+            # (pinned by the hardware/software equivalence tests). With
+            # an engine configured, all fallback sites run through one
+            # batched call instead of the per-site scalar kernel.
+            indices = sorted(fallback)
+            engine = self._engine_instance()
+            if engine is not None:
+                batched = engine.run_sites(
+                    [windows[i].site for i in indices], telemetry=telemetry
+                )
+                fallback_results = dict(zip(indices, batched))
+            else:
+                fallback_results = {
+                    i: realign_site(
+                        windows[i].site, scoring=self.system.config.scoring
+                    )
+                    for i in indices
+                }
         updates: Dict[str, Read] = {}
         for index, (window, result) in enumerate(zip(windows,
                                                      run.unit_results)):
             if index in fallback:
-                # Graceful degradation: this target exhausted hardware
-                # recovery, so its decisions come from the software
-                # kernel -- bit-identical to the unit's by construction
-                # (pinned by the hardware/software equivalence tests).
-                result = realign_site(
-                    window.site, scoring=self.system.config.scoring
-                )
+                result = fallback_results[index]
             report.unpruned_comparisons += window.site.unpruned_comparisons()
             for j, read in enumerate(window.reads):
                 if result.realign[j]:

@@ -1,0 +1,54 @@
+"""Batched, filtered, parallel execution of the realignment kernel.
+
+The paper keeps 32 hardware units saturated; this package is the
+software analogue for the repository's numpy realigner. It layers four
+independent optimizations, each preserving byte-identical output:
+
+- :mod:`repro.engine.batch` -- whole-site ``(C, R, K)`` tensor
+  evaluation via FFT match counting instead of per-pair loops;
+- :mod:`repro.engine.prefilter` -- GateKeeper-style count bounds that
+  prune offsets, consensus rows, and cannot-beat-reference pairs;
+- :mod:`repro.engine.memo` -- an LRU over duplicate
+  (consensus set, read, quals) grid columns;
+- :mod:`repro.engine.parallel` -- site sharding across a
+  ``multiprocessing`` pool with work-stealing and deterministic merge.
+
+See ``docs/ARCHITECTURE.md`` for the data flow and
+``docs/PERFORMANCE.md`` for the cost model and measured speedups.
+"""
+
+from repro.engine.batch import (
+    PackedSite,
+    fast_fft_length,
+    min_whd_grid_batched,
+    pair_lower_bounds,
+    realign_site_batched,
+)
+from repro.engine.memo import PairMemo
+from repro.engine.parallel import Engine, EngineConfig, ShardStats
+from repro.engine.prefilter import (
+    PREFILTER_TOLERANCE,
+    PrefilterStats,
+    consensus_keep_mask,
+    offset_candidates,
+    pair_bounds,
+    pairs_cannot_beat_reference,
+)
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "PackedSite",
+    "PairMemo",
+    "PrefilterStats",
+    "PREFILTER_TOLERANCE",
+    "ShardStats",
+    "consensus_keep_mask",
+    "fast_fft_length",
+    "min_whd_grid_batched",
+    "offset_candidates",
+    "pair_bounds",
+    "pair_lower_bounds",
+    "pairs_cannot_beat_reference",
+    "realign_site_batched",
+]

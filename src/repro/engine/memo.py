@@ -1,0 +1,73 @@
+"""LRU memoization of WHD grid columns for duplicate read/consensus pairs.
+
+Sequencing workloads repeat themselves: PCR duplicates produce reads
+with identical bases *and* qualities, and neighbouring sites frequently
+share their consensus set. The grid column for a read --
+``min_whd[:, j]`` and ``min_whd_idx[:, j]`` -- depends only on
+(consensus set, read bases, read qualities), so it can be reused
+verbatim whenever that key recurs inside a shard.
+
+The memo stores only *fully exact* columns. The batched engine
+therefore disables consensus-row elimination while a memo is active
+(see :func:`repro.engine.batch.realign_site_batched`): a column with
+sentinel entries computed under one site's elimination mask would be
+unsound to splice into another site's grid.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+Column = Tuple[np.ndarray, np.ndarray]  # (min_whd[:, j], min_whd_idx[:, j])
+
+
+class PairMemo:
+    """Bounded LRU cache from pair keys to exact grid columns.
+
+    >>> memo = PairMemo(capacity=2)
+    >>> import numpy as np
+    >>> memo.put("a", (np.array([1]), np.array([0])))
+    >>> memo.get("a") is not None, memo.get("b") is not None
+    (True, False)
+    >>> memo.hits, memo.misses
+    (1, 1)
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"memo capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._columns: "OrderedDict[Hashable, Column]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def get(self, key: Hashable) -> Optional[Column]:
+        column = self._columns.get(key)
+        if column is None:
+            self.misses += 1
+            return None
+        self._columns.move_to_end(key)
+        self.hits += 1
+        return column
+
+    def put(self, key: Hashable, column: Column) -> None:
+        self._columns[key] = column
+        self._columns.move_to_end(key)
+        while len(self._columns) > self.capacity:
+            self._columns.popitem(last=False)
+            self.evictions += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "engine.memo_hits": self.hits,
+            "engine.memo_misses": self.misses,
+            "engine.memo_evictions": self.evictions,
+            "engine.memo_size": len(self._columns),
+        }

@@ -1,0 +1,222 @@
+"""Sharded multiprocess execution of independent realignment sites.
+
+Realignment sites are embarrassingly parallel -- target creation
+guarantees a read belongs to at most one site -- so the engine shards a
+site list into fixed-size chunks and feeds them to a persistent
+``multiprocessing`` pool via ``imap_unordered``: idle workers steal the
+next pending chunk, so stragglers (sites are Zipf-like in size) do not
+serialize the tail. Results come back tagged with their chunk index and
+are merged in submission order, which makes the output -- and therefore
+the final SAM -- byte-identical to the serial path regardless of worker
+count or completion order (pinned against ``tests/golden/``).
+
+Within a worker, each chunk runs the batched kernel
+(:func:`repro.engine.batch.realign_site_batched`) with its own
+:class:`~repro.engine.memo.PairMemo` (when enabled), and accumulates
+telemetry counters locally; the parent folds counters into its own
+telemetry session after the merge and records one wall-clock span per
+shard (see :func:`repro.perf.fleet.record_engine_shards`), so a Chrome
+trace shows the shards overlapping.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.batch import realign_site_batched
+from repro.engine.memo import PairMemo
+from repro.realign.site import RealignmentSite
+from repro.realign.whd import SCORING_METHODS, SiteResult
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs for the batched parallel engine.
+
+    ``workers=1`` runs shards inline (no pool, no pickling) but still
+    through the batched kernel; ``batch`` is the shard size in sites --
+    large enough to amortize per-task IPC, small enough that
+    work-stealing can balance uneven shards. ``memo_capacity=0``
+    disables the pair memo, which also keeps consensus-row elimination
+    active (see :mod:`repro.engine.memo` for why they exclude each
+    other).
+
+    >>> EngineConfig(workers=2, batch=4).prefilter
+    True
+    >>> EngineConfig(workers=0)
+    Traceback (most recent call last):
+        ...
+    ValueError: workers must be >= 1, got 0
+    """
+
+    workers: int = 1
+    batch: int = 8
+    prefilter: bool = True
+    scoring: str = "similarity"
+    memo_capacity: int = 0
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+        if self.scoring not in SCORING_METHODS:
+            raise ValueError(f"unknown scoring method {self.scoring!r}")
+        if self.memo_capacity < 0:
+            raise ValueError(
+                f"memo_capacity must be >= 0, got {self.memo_capacity}"
+            )
+
+
+@dataclass
+class ShardStats:
+    """One shard's execution record (perf_counter timestamps)."""
+
+    shard: int
+    sites: int
+    start: float
+    end: float
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+
+class _CounterSink:
+    """Minimal stand-in for a telemetry session inside a worker.
+
+    The kernel only calls ``count``; the parent process folds the
+    accumulated deltas into its real telemetry session after the merge
+    (span clocks do not transfer between processes, counters do).
+    """
+
+    def __init__(self):
+        self.counters: Dict[str, int] = {}
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + int(delta)
+
+
+def _run_chunk(payload) -> Tuple[int, List[SiteResult], float, float, Dict[str, int]]:
+    """Worker entry point: realign one chunk of sites.
+
+    Module-level (not a closure) so it pickles under both fork and
+    spawn start methods. ``time.perf_counter`` is CLOCK_MONOTONIC on
+    Linux, so the returned timestamps are comparable across processes
+    and the parent can lay shards on a shared timeline.
+    """
+    chunk_id, sites, config = payload
+    start = time.perf_counter()
+    sink = _CounterSink()
+    memo = PairMemo(config.memo_capacity) if config.memo_capacity else None
+    results = [
+        realign_site_batched(
+            site,
+            prefilter=config.prefilter,
+            scoring=config.scoring,
+            telemetry=sink,
+            memo=memo,
+        )
+        for site in sites
+    ]
+    if memo is not None:
+        for name, value in memo.snapshot().items():
+            sink.count(name, value)
+    return chunk_id, results, start, time.perf_counter(), sink.counters
+
+
+class Engine:
+    """Batched parallel realignment over a list of independent sites.
+
+    The worker pool is created lazily on the first multiprocess run and
+    persists across :meth:`run_sites` calls (forking a pool costs tens
+    of milliseconds -- far more than a warm task round-trip), so create
+    the engine once and reuse it. Usable as a context manager; the pool
+    is also reaped on garbage collection.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config if config is not None else EngineConfig()
+        self.shard_stats: List[ShardStats] = []  # from the latest run
+        self._pool = None
+
+    def run_sites(
+        self,
+        sites: Sequence[RealignmentSite],
+        telemetry=None,
+    ) -> List[SiteResult]:
+        """Realign ``sites``; results align index-for-index with input.
+
+        The merge is deterministic: shard results are reassembled in
+        chunk-submission order, so the output is identical for any
+        ``workers`` setting.
+        """
+        from repro.perf.fleet import record_engine_shards
+
+        if not sites:
+            self.shard_stats = []
+            return []
+        run_start = time.perf_counter()
+        payloads = [
+            (chunk_id, list(sites[lo : lo + self.config.batch]), self.config)
+            for chunk_id, lo in enumerate(
+                range(0, len(sites), self.config.batch)
+            )
+        ]
+        if self.config.workers == 1 or len(payloads) == 1:
+            outcomes = [_run_chunk(payload) for payload in payloads]
+        else:
+            pool = self._ensure_pool()
+            outcomes = list(pool.imap_unordered(_run_chunk, payloads))
+
+        by_chunk = {chunk_id: rest for chunk_id, *rest in outcomes}
+        results: List[SiteResult] = []
+        stats: List[ShardStats] = []
+        merged: Dict[str, int] = {}
+        for chunk_id, payload in enumerate(payloads):
+            chunk_results, start, end, counters = by_chunk[chunk_id]
+            results.extend(chunk_results)
+            stats.append(ShardStats(
+                shard=chunk_id, sites=len(payload[1]),
+                start=start, end=end, counters=counters,
+            ))
+            for name, value in counters.items():
+                merged[name] = merged.get(name, 0) + value
+        self.shard_stats = stats
+        if telemetry is not None:
+            for name, value in merged.items():
+                telemetry.count(name, value)
+            record_engine_shards(telemetry, stats, origin=run_start,
+                                 workers=self.config.workers)
+        return results
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                ctx = multiprocessing.get_context()
+            self._pool = ctx.Pool(processes=self.config.workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -156,6 +156,37 @@ def record_fleet_spans(telemetry, plan: FleetPlan,
                         len(preempted.rescheduled))
 
 
+def record_engine_shards(telemetry, shards, origin: Optional[float] = None,
+                         workers: int = 1) -> None:
+    """Record a batched-engine run as a span timeline (one track/shard).
+
+    The host-side analogue of :func:`record_fleet_spans`: each shard of
+    a :class:`repro.engine.parallel.Engine` run becomes one span on its
+    own track, offset from ``origin`` (the run's start timestamp on the
+    same ``perf_counter`` clock), so a Chrome trace shows shards
+    overlapping across worker processes. Engine timelines tick in
+    *seconds*, like fleet timelines.
+    """
+    from repro.telemetry.spans import CAT_ENGINE
+
+    if telemetry is None or not shards:
+        return
+    if telemetry.ticks_per_second is None:
+        telemetry.ticks_per_second = 1.0
+    base = origin if origin is not None else min(s.start for s in shards)
+    for shard in shards:
+        telemetry.span(
+            f"shard {shard.shard} ({shard.sites} sites)",
+            f"engine shard {shard.shard}",
+            shard.start - base,
+            shard.end - base,
+            CAT_ENGINE,
+        )
+    telemetry.count("engine.shards", len(shards))
+    telemetry.count("engine.shard_sites", sum(s.sites for s in shards))
+    telemetry.count("engine.workers", workers)
+
+
 @dataclass(frozen=True)
 class PreemptionEvent:
     """One spot reclamation: instance ``instance`` dies at ``at_seconds``."""

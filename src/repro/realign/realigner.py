@@ -87,13 +87,20 @@ class IndelRealigner:
         vectorized: bool = True,
         consensus_strategy: str = "observed",
         scoring: str = "similarity",
+        engine=None,
     ):
         """``consensus_strategy`` selects how alternate haplotypes are
         built: ``"observed"`` (the GATK3/paper approach -- INDELs lifted
         from read CIGARs) or ``"assembly"`` (HaplotypeCaller-style local
         de Bruijn assembly, :mod:`repro.realign.assembly`).
         ``scoring`` selects Algorithm 2's consensus-score semantics
-        (see :func:`repro.realign.whd.score_and_select`)."""
+        (see :func:`repro.realign.whd.score_and_select`).
+        ``engine`` optionally routes the kernel through the batched
+        execution engine (:mod:`repro.engine`): pass an
+        :class:`repro.engine.EngineConfig` (its ``scoring`` is overridden
+        by this realigner's) or a ready :class:`repro.engine.Engine`
+        (used as-is; its config's scoring must match). The engine path is
+        byte-identical to the per-site path (pinned by goldens)."""
         if consensus_strategy not in ("observed", "assembly"):
             raise ValueError(
                 f"unknown consensus strategy {consensus_strategy!r}"
@@ -104,6 +111,29 @@ class IndelRealigner:
         self.vectorized = vectorized
         self.consensus_strategy = consensus_strategy
         self.scoring = scoring
+        self.engine = engine
+        self._engine = None
+
+    def _engine_instance(self):
+        """Lazily resolve ``self.engine`` into a live Engine (or None)."""
+        if self.engine is None:
+            return None
+        if self._engine is None:
+            from dataclasses import replace as _replace
+
+            from repro.engine import Engine, EngineConfig
+
+            if isinstance(self.engine, Engine):
+                self._engine = self.engine
+            elif isinstance(self.engine, EngineConfig):
+                self._engine = Engine(
+                    _replace(self.engine, scoring=self.scoring)
+                )
+            else:
+                raise TypeError(
+                    "engine must be an EngineConfig, an Engine, or None"
+                )
+        return self._engine
 
     def build_sites(
         self, reads: Sequence[Read]
@@ -133,11 +163,18 @@ class IndelRealigner:
                 windows.append(built)
         return targets, windows
 
-    def realign(self, reads: Sequence[Read]) -> Tuple[List[Read], RealignerReport]:
+    def realign(
+        self, reads: Sequence[Read], telemetry=None
+    ) -> Tuple[List[Read], RealignerReport]:
         """Realign a read set; returns (updated reads, report).
 
         Reads keep their input order. Each read is realigned at most once
-        (targets are disjoint by construction).
+        (targets are disjoint by construction). With an ``engine``
+        configured, every window's site runs through one
+        :meth:`repro.engine.Engine.run_sites` call (batched kernel,
+        optional prefilter/memo/worker pool) instead of the per-site
+        loop; the realigned reads are byte-identical either way.
+        ``telemetry`` is forwarded to whichever kernel path runs.
         """
         targets, windows = self.build_sites(reads)
         report = RealignerReport(
@@ -145,11 +182,20 @@ class IndelRealigner:
             sites_built=len(windows),
             reads_examined=len(reads),
         )
+        engine = self._engine_instance()
+        if engine is not None:
+            results = engine.run_sites(
+                [window.site for window in windows], telemetry=telemetry
+            )
+        else:
+            results = [
+                realign_site(window.site, vectorized=self.vectorized,
+                             scoring=self.scoring, telemetry=telemetry)
+                for window in windows
+            ]
         updates: Dict[str, Read] = {}
-        for window in windows:
+        for window, result in zip(windows, results):
             site = window.site
-            result = realign_site(site, vectorized=self.vectorized,
-                                  scoring=self.scoring)
             report.unpruned_comparisons += site.unpruned_comparisons()
             report.site_shapes.append(SiteShape.from_site(site, result))
             for j, read in enumerate(window.reads):

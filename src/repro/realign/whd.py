@@ -47,6 +47,16 @@ def calc_whd(cons: str, read: str, quals: Sequence[int], k: int) -> int:
 
     Compares read bases against consensus bases starting at index ``k``
     and sums the corresponding quality scores where the bases differ.
+
+    Figure 4's worked example slides read 0 (``TGAA``, qualities
+    10/20/45/10) along the ``m = 7`` reference consensus, giving
+    ``m - n + 1 = 4`` offsets. At ``k = 0`` every base mismatches
+    (10+20+45+10); at ``k = 2`` only read bases 1 and 3 do (20+10):
+
+    >>> calc_whd("CCTTAGA", "TGAA", [10, 20, 45, 10], 0)
+    85
+    >>> calc_whd("CCTTAGA", "TGAA", [10, 20, 45, 10], 2)
+    30
     """
     if k < 0 or k + len(read) > len(cons):
         raise ValueError(
@@ -65,6 +75,13 @@ def min_whd_pair(cons: str, read: str, quals: Sequence[int]) -> Tuple[int, int]:
 
     The strict ``<`` update means the *earliest* offset achieving the
     minimum wins -- the same convention the hardware implements.
+
+    Figure 4, read 0 against the reference consensus: the per-offset
+    WHDs are 85/75/30/65 (``k = 0..3``), so the minimum is 30 at
+    offset 2:
+
+    >>> min_whd_pair("CCTTAGA", "TGAA", [10, 20, 45, 10])
+    (30, 2)
     """
     best = int(WHD_SENTINEL)
     best_idx = 0
@@ -81,6 +98,15 @@ def whd_profile(cons_arr: np.ndarray, read_arr: np.ndarray,
     """Vectorized per-offset WHDs: ``profile[k] = Calc_WHD(cons, read, k)``.
 
     Shape ``(m - n + 1,)``, dtype int64.
+
+    The full Figure 4 profile of read 0 against the reference
+    (``m = 7``, ``n = 4``, ``k = 0..3``):
+
+    >>> import numpy as np
+    >>> from repro.genomics.sequence import seq_to_array
+    >>> whd_profile(seq_to_array("CCTTAGA"), seq_to_array("TGAA"),
+    ...             np.array([10, 20, 45, 10], dtype=np.uint8)).tolist()
+    [85, 75, 30, 65]
     """
     n = read_arr.size
     m = cons_arr.size
@@ -115,6 +141,16 @@ def min_whd_grid(
 
     Returns ``(min_whd, min_whd_idx)`` as int64 arrays of shape
     ``(num_consensuses, num_reads)``.
+
+    The Figure 4 site (3 consensuses x 2 reads; consensus 0 is the
+    reference, consensus 1 carries the deletion both reads support):
+
+    >>> from repro.experiments.figure4 import build_site
+    >>> min_whd, min_idx = min_whd_grid(build_site())
+    >>> min_whd.tolist()
+    [[30, 20], [0, 20], [55, 30]]
+    >>> min_idx.tolist()
+    [[2, 0], [3, 1], [2, 0]]
     """
     C, R = site.num_consensuses, site.num_reads
     min_whd = np.empty((C, R), dtype=np.int64)
@@ -166,6 +202,16 @@ def score_and_select(
     returned and no read will realign. Both methods cost the selector
     the same cycles (one REF read, one CURR read, one accumulate per
     pair -- Figure 5's datapath).
+
+    On Figure 4's grid both methods pick consensus 1 (the example is
+    too small to expose their divergence):
+
+    >>> import numpy as np
+    >>> grid = np.array([[30, 20], [0, 20], [55, 30]])
+    >>> score_and_select(grid, "absdiff")  # |0-30|+|20-20|, |55-30|+|30-20|
+    (1, array([ 0, 30, 35]))
+    >>> score_and_select(grid, "similarity")  # plain row sums
+    (1, array([50, 20, 85]))
     """
     if method not in SCORING_METHODS:
         raise ValueError(f"unknown scoring method {method!r}")
@@ -196,6 +242,17 @@ def reads_realignments(
     winning offset translated to reference coordinates. Positions of
     non-realigned reads are reported as -1 (the hardware leaves the
     output-buffer slot unwritten; -1 is the host-side convention).
+
+    Figure 4, with consensus 1 picked and the target at 10,000: read 0
+    realigns (0 < 30) to offset 3, read 1 does not (20 == 20, not
+    strict):
+
+    >>> import numpy as np
+    >>> grid = np.array([[30, 20], [0, 20], [55, 30]])
+    >>> idx = np.array([[2, 0], [3, 1], [2, 0]])
+    >>> realign, new_pos = reads_realignments(grid, idx, 1, 10_000)
+    >>> realign.tolist(), new_pos.tolist()
+    ([True, False], [10003, -1])
     """
     R = min_whd.shape[1]
     realign = min_whd[best_cons] < min_whd[0]
@@ -242,6 +299,15 @@ def realign_site(site: RealignmentSite, vectorized: bool = True,
     offsets evaluated, grid cells filled, the grid's WHD mass, reads
     realigned -- so the vectorized and scalar datapaths must report
     identical numbers for the same site (a property test pins this).
+
+    End to end on the Figure 4 site (paper scoring):
+
+    >>> from repro.experiments.figure4 import build_site
+    >>> result = realign_site(build_site(), scoring="absdiff")
+    >>> int(result.best_cons), result.scores.tolist()
+    (1, [0, 30, 35])
+    >>> result.realign.tolist(), result.new_pos.tolist()
+    ([True, False], [10003, -1])
     """
     min_whd, min_idx = min_whd_grid(site, vectorized=vectorized)
     best_cons, scores = score_and_select(min_whd, method=scoring)

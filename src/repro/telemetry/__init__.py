@@ -36,6 +36,7 @@ from repro.telemetry.export import (
 from repro.telemetry.metrics import ScheduleMetrics, derive_schedule_metrics
 from repro.telemetry.spans import (
     CAT_COMPUTE,
+    CAT_ENGINE,
     CAT_FALLBACK,
     CAT_FAULTED,
     CAT_FLEET,
@@ -48,6 +49,7 @@ from repro.telemetry.spans import (
 
 __all__ = [
     "CAT_COMPUTE",
+    "CAT_ENGINE",
     "CAT_FALLBACK",
     "CAT_FAULTED",
     "CAT_FLEET",

@@ -39,6 +39,7 @@ CAT_FAULTED = "faulted"      # a failed dispatch attempt (recovery only)
 CAT_TRANSFER = "transfer"    # PCIe channel occupancy for one target
 CAT_FALLBACK = "fallback"    # software completion on the host CPU
 CAT_FLEET = "fleet"          # one job on one fleet instance
+CAT_ENGINE = "engine"        # one shard on a host worker process
 
 
 def unit_track(unit: int) -> str:

@@ -1,0 +1,54 @@
+"""Dead-link check for the repository's markdown documentation.
+
+Every relative link in ``docs/*.md`` and ``README.md`` must resolve to a
+file (or directory) inside the repo. External ``http(s)``/``mailto``
+links are skipped -- CI has no network and their liveness is not this
+repo's contract -- and pure ``#anchor`` fragments are checked only for
+the target file's existence, not the heading.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md"] + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+# [text](target) -- ignores images' leading "!" (same target rules) and
+# skips fenced code blocks below.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _links(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def test_doc_files_exist():
+    assert (REPO_ROOT / "README.md").exists()
+    assert len(DOC_FILES) >= 4, "docs/*.md shrank unexpectedly"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_intra_repo_links_resolve(doc):
+    dead = []
+    for lineno, target in _links(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:  # pure #anchor into the same file
+            continue
+        resolved = (doc.parent / path_part).resolve()
+        if not resolved.exists():
+            dead.append(f"{doc.relative_to(REPO_ROOT)}:{lineno} -> {target}")
+    assert not dead, "dead intra-repo links:\n" + "\n".join(dead)

@@ -114,6 +114,99 @@ class TestRealignedSamGolden:
             )
 
 
+class TestEngineMatchesGolden:
+    """The execution engine must land every read where the pinned golden
+    does -- serial, batched, and multiprocess are one behaviour."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return _load("realigned_sam.json")
+
+    @pytest.fixture(scope="class")
+    def sample(self, golden):
+        from repro.genomics.simulate import SimulationProfile, simulate_sample
+
+        params = golden["params"]
+        return simulate_sample(
+            {params["contig"]: params["length"]},
+            profile=SimulationProfile(
+                coverage=params["coverage"],
+                indel_rate=params["indel_rate"],
+            ),
+            seed=params["seed"],
+        )
+
+    def _assert_matches(self, updated, golden, label):
+        for index, (read, want) in enumerate(zip(updated, golden["reads"])):
+            got = {
+                "name": read.name,
+                "pos": read.pos,
+                "cigar": str(read.cigar) if read.cigar is not None else None,
+            }
+            assert got == want, (
+                f"{label} read #{index} ({want['name']}) diverged from "
+                f"the golden: expected pos={want['pos']} "
+                f"cigar={want['cigar']}, got pos={got['pos']} "
+                f"cigar={got['cigar']}. {REGEN_HINT}"
+            )
+
+    @pytest.mark.parametrize(
+        "label,workers",
+        [("engine-batched", 1), ("engine-multiprocess", 3)],
+    )
+    def test_engine_realigner_matches_golden(self, golden, sample,
+                                             label, workers):
+        from repro.engine import EngineConfig
+        from repro.realign.realigner import IndelRealigner
+
+        realigner = IndelRealigner(
+            sample.reference,
+            engine=EngineConfig(workers=workers, batch=3),
+        )
+        updated, _report = realigner.realign(sample.reads)
+        self._assert_matches(updated, golden, label)
+
+    def test_batched_kernel_reproduces_golden_grids(self):
+        """min_whd_grid_batched(prefilter=False) must be cell-identical
+        to the grids the scalar kernel wrote into the site golden."""
+        from repro.engine import min_whd_grid_batched
+        from repro.workloads.generator import BENCH_PROFILE, synthesize_site
+
+        golden = _load("site_results.json")
+        rng = np.random.default_rng(golden["seed"])
+        for want in golden["sites"]:
+            site = synthesize_site(rng, BENCH_PROFILE,
+                                   complexity=want["complexity"])
+            mw, mi = min_whd_grid_batched(site, prefilter=False)
+            assert mw.tolist() == want["min_whd"], (
+                f"batched kernel min_whd drifted from golden on site "
+                f"{want['site']}. {REGEN_HINT}"
+            )
+            assert mi.tolist() == want["min_whd_idx"], (
+                f"batched kernel min_whd_idx drifted from golden on site "
+                f"{want['site']}. {REGEN_HINT}"
+            )
+
+    def test_prefiltered_engine_reproduces_golden_decisions(self):
+        """With the prefilter on, grids may hold sentinels but every
+        architecturally visible decision must still match the golden."""
+        from repro.engine import realign_site_batched
+        from repro.workloads.generator import BENCH_PROFILE, synthesize_site
+
+        golden = _load("site_results.json")
+        rng = np.random.default_rng(golden["seed"])
+        for want in golden["sites"]:
+            site = synthesize_site(rng, BENCH_PROFILE,
+                                   complexity=want["complexity"])
+            result = realign_site_batched(site)
+            assert int(result.best_cons) == want["best_cons"], (
+                f"prefiltered engine best_cons drifted on site "
+                f"{want['site']}. {REGEN_HINT}"
+            )
+            assert result.realign.tolist() == want["realign"]
+            assert result.new_pos.tolist() == want["new_pos"]
+
+
 class TestSiteResultGolden:
     @pytest.fixture(scope="class")
     def recomputed(self):

@@ -201,10 +201,13 @@ class TestTraceCommand:
             event["args"]["name"] for event in payload["traceEvents"]
             if event.get("name") == "process_name"
         ]
-        assert process_names == ["sync", "async", "recovery (fault-free)"]
+        assert process_names == [
+            "sync", "async", "recovery (fault-free)", "engine",
+        ]
         assert any(event["ph"] == "X" for event in payload["traceEvents"])
         captured = capsys.readouterr().out
         assert "span-identical to" in captured
+        assert "[engine]" in captured
 
     def test_trace_chaos_and_fleet_sessions(self, tmp_path, capsys):
         out = tmp_path / "trace.json"
