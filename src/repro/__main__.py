@@ -30,7 +30,11 @@ Examples::
     python -m repro realign --reference /tmp/sample/reference.fa \
         --sam /tmp/sample/aligned.sam --out /tmp/sample/realigned.sam \
         --workers 4 --batch 12
+    python -m repro realign --reference /tmp/sample/reference.fa \
+        --sam /tmp/sample/aligned.sam --out /tmp/sample/realigned.sam \
+        --workers 4 --stream --queue-depth 3
     python -m repro trace --out /tmp/trace.json --fault-rate 0.1
+    python -m repro trace --out /tmp/trace.json --workers 2 --stream
 """
 
 from __future__ import annotations
@@ -184,6 +188,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_engine(args: argparse.Namespace):
+    """The engine the ``--workers/--batch/--stream`` flags describe:
+    a plain :class:`EngineConfig` (the realigner builds its own barrier
+    engine), or a live :class:`StreamingEngine` when ``--stream``."""
+    from repro.engine import EngineConfig
+
+    config = EngineConfig(workers=args.workers, batch=args.batch,
+                          prefilter=args.prefilter)
+    if not args.stream:
+        return config
+    from repro.engine import StreamingEngine
+
+    return StreamingEngine(config, queue_depth=args.queue_depth,
+                           use_shmem=args.shmem)
+
+
 def _cmd_realign(args: argparse.Namespace) -> int:
     from repro.core.system import AcceleratedRealigner, SystemConfig
     from repro.genomics.fasta import read_reference
@@ -201,10 +221,10 @@ def _cmd_realign(args: argparse.Namespace) -> int:
     if args.workers < 1 or args.batch < 1:
         print("error: --workers and --batch must be >= 1", file=sys.stderr)
         return 2
-    from repro.engine import EngineConfig
-
-    engine = EngineConfig(workers=args.workers, batch=args.batch,
-                          prefilter=args.prefilter)
+    if args.queue_depth < 1:
+        print("error: --queue-depth must be >= 1", file=sys.stderr)
+        return 2
+    engine = _make_engine(args)
     reference = read_reference(args.reference)
     reads = read_sam(args.sam)
     if args.accelerated:
@@ -246,7 +266,20 @@ def _cmd_realign(args: argparse.Namespace) -> int:
         updated, report = IndelRealigner(reference,
                                          engine=engine).realign(reads)
         print(f"engine: workers={args.workers} batch={args.batch} "
-              f"prefilter={'on' if args.prefilter else 'off'}")
+              f"prefilter={'on' if args.prefilter else 'off'}"
+              + (f" stream(depth={args.queue_depth}, "
+                 f"shmem={'on' if args.shmem else 'off'})"
+                 if args.stream else ""))
+    if args.stream:
+        stats = engine.stream_stats
+        if stats:
+            print(f"stream: {stats.get('stream.chunks', 0)} chunks, "
+                  f"max in-flight {stats.get('stream.max_in_flight', 0)}, "
+                  f"reorder peak {stats.get('stream.reorder_peak', 0)}, "
+                  f"arena bytes {stats.get('stream.arena_bytes', 0)}, "
+                  f"backpressure "
+                  f"{stats.get('stream.backpressure_us', 0)} us")
+        engine.close()
     write_sam(updated, args.out, reference)
     print(f"{report.targets_identified} targets, {report.sites_built} sites, "
           f"{report.reads_realigned} reads realigned -> {args.out}")
@@ -267,6 +300,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 2
     if args.workers < 1 or args.batch < 1:
         print("error: --workers and --batch must be >= 1", file=sys.stderr)
+        return 2
+    if args.queue_depth < 1:
+        print("error: --queue-depth must be >= 1", file=sys.stderr)
         return 2
     census = next(c for c in CHROMOSOME_CENSUS if c.name == "21")
     sites = chromosome_workload(
@@ -332,6 +368,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                              prefilter=args.prefilter)) as engine:
         engine.run_sites(sites, telemetry=engine_session)
     sessions.append(engine_session)
+    if args.stream:
+        # Streaming data-plane session over the same workload: chunk
+        # spans land on CAT_STREAM tracks with queue/backpressure
+        # counters next to the barrier engine's session for comparison.
+        from repro.engine import StreamingEngine
+
+        stream_session = Telemetry(label="stream")
+        with StreamingEngine(
+            EngineConfig(workers=args.workers, batch=args.batch,
+                         prefilter=args.prefilter),
+            queue_depth=args.queue_depth, use_shmem=args.shmem,
+        ) as stream_engine:
+            stream_engine.run_sites(sites, telemetry=stream_session)
+        sessions.append(stream_session)
     write_chrome_trace(sessions, args.out)
     for session in sessions:
         if session.label == "fleet":
@@ -350,6 +400,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                   f"{flat.get('engine.shards', 0)} shards "
                   f"({args.workers} workers), "
                   f"{fraction:.1%} of WHD cells pruned")
+            continue
+        if session.label == "stream":
+            flat = session.counters.flat()
+            shmem = "shmem" if flat.get("stream.shmem", 0) else "pickle"
+            print(f"[stream] {flat.get('stream.chunks', 0)} chunks, "
+                  f"window {flat.get('stream.queue_depth', 0)}x"
+                  f"{args.workers}, max in-flight "
+                  f"{flat.get('stream.max_in_flight', 0)}, reorder peak "
+                  f"{flat.get('stream.reorder_peak', 0)}, "
+                  f"{flat.get('stream.arena_bytes', 0)} arena bytes "
+                  f"({shmem}), backpressure "
+                  f"{flat.get('stream.backpressure_us', 0)} us")
             continue
         metrics = derive_schedule_metrics(session)
         print(f"[{session.label}] {metrics.describe()}")
@@ -465,6 +527,21 @@ def _add_engine_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--no-prefilter", dest="prefilter", action="store_false",
         help="disable the GateKeeper-style pre-alignment filter",
+    )
+    subparser.add_argument(
+        "--stream", action="store_true",
+        help="use the streaming engine: bounded in-flight window, "
+             "zero-copy shared-memory dispatch, incremental in-order merge",
+    )
+    subparser.add_argument(
+        "--queue-depth", type=int, default=2, dest="queue_depth",
+        help="in-flight chunks per worker for --stream (window = "
+             "depth x workers)",
+    )
+    subparser.add_argument(
+        "--no-shmem", dest="shmem", action="store_false",
+        help="disable shared-memory arenas for --stream (pickle site "
+             "payloads instead)",
     )
 
 

@@ -95,6 +95,29 @@ def pileup(reads: Iterable[Read], skip_duplicates: bool = True
     return columns
 
 
+def merge_columns(
+    into: Dict[Tuple[str, int], PileupColumn],
+    new: Dict[Tuple[str, int], PileupColumn],
+) -> Dict[Tuple[str, int], PileupColumn]:
+    """Fold one pileup into another in place (and return it).
+
+    Used by the streaming refinement pipeline to accumulate the global
+    pileup region-by-region. When both pileups hold a column for the
+    same position, the incoming column's evidence is appended -- though
+    region cuts are chosen so that never happens (no read spans a cut).
+    """
+    for key, column in new.items():
+        existing = into.get(key)
+        if existing is None:
+            into[key] = column
+        else:
+            existing.bases.extend(column.bases)
+            existing.quals.extend(column.quals)
+            existing.insertions.extend(column.insertions)
+            existing.deletions.extend(column.deletions)
+    return into
+
+
 def max_depth(columns: Dict[Tuple[str, int], PileupColumn]) -> int:
     """Deepest column in a pileup (0 when empty)."""
     return max((col.depth for col in columns.values()), default=0)

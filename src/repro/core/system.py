@@ -70,6 +70,15 @@ class SystemConfig:
     # per-target dispatch exactly; larger groups amortize host overhead
     # the way the batched software engine amortizes kernel overhead.
     dispatch_batch: int = 1
+    # Double-buffered host dispatch: while group N computes, the host
+    # prepares and DMAs group N+1, so the response-poll turnaround of
+    # every group except a round's last hides behind the next group's
+    # compute instead of extending the unit's busy time (the software
+    # mirror is the streaming engine's queue_depth >= 2 window). The
+    # drain -- the final group, with nothing left to overlap -- still
+    # pays the full turnaround. False (default) charges every group,
+    # reproducing the single-buffered dispatch model bit-for-bit.
+    double_buffer: bool = False
     # Fault tolerance: a ResilienceConfig switches the run into chaos
     # mode -- its FaultPlan injects faults, and the watchdog/retry/
     # quarantine/fallback machinery recovers from them. None (default)
@@ -287,13 +296,17 @@ class AcceleratedIRSystem:
                 # Batched dispatch answers a whole group with one poll
                 # turnaround, charged to the group's last member; with
                 # batch == 1 every target is its group's last, which is
-                # exactly the paper's per-target dispatch.
-                last_in_group = (
-                    index % batch == batch - 1
-                    or index == len(unit_results) - 1
+                # exactly the paper's per-target dispatch. Double
+                # buffering hides that turnaround behind the next
+                # group's (already-prepared) compute, so only a round's
+                # final group -- the drain -- still pays it.
+                last_in_round = index == len(unit_results) - 1
+                last_in_group = index % batch == batch - 1 or last_in_round
+                charged = last_in_group and (
+                    not self.config.double_buffer or last_in_round
                 )
                 latency = (self.config.response_latency_cycles
-                           if last_in_group else 0)
+                           if charged else 0)
                 round_targets.append(
                     ScheduledTarget(
                         index=index,

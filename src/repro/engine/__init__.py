@@ -11,7 +11,11 @@ independent optimizations, each preserving byte-identical output:
 - :mod:`repro.engine.memo` -- an LRU over duplicate
   (consensus set, read, quals) grid columns;
 - :mod:`repro.engine.parallel` -- site sharding across a
-  ``multiprocessing`` pool with work-stealing and deterministic merge.
+  ``multiprocessing`` pool with work-stealing and deterministic merge;
+- :mod:`repro.engine.stream` -- the streaming data plane: a bounded
+  in-flight window over the same pool, zero-copy dispatch through
+  :mod:`repro.engine.shmem` arenas, and an incremental reordering merge
+  that emits results in deterministic chunk order as they complete.
 
 See ``docs/ARCHITECTURE.md`` for the data flow and
 ``docs/PERFORMANCE.md`` for the cost model and measured speedups.
@@ -26,6 +30,13 @@ from repro.engine.batch import (
 )
 from repro.engine.memo import PairMemo
 from repro.engine.parallel import Engine, EngineConfig, ShardStats
+from repro.engine.shmem import (
+    HAVE_SHARED_MEMORY,
+    ChunkDescriptor,
+    pack_chunk,
+    unpack_chunk,
+)
+from repro.engine.stream import ReorderBuffer, StreamingEngine
 from repro.engine.prefilter import (
     PREFILTER_TOLERANCE,
     PrefilterStats,
@@ -36,19 +47,25 @@ from repro.engine.prefilter import (
 )
 
 __all__ = [
+    "ChunkDescriptor",
     "Engine",
     "EngineConfig",
+    "HAVE_SHARED_MEMORY",
     "PackedSite",
     "PairMemo",
     "PrefilterStats",
     "PREFILTER_TOLERANCE",
+    "ReorderBuffer",
     "ShardStats",
+    "StreamingEngine",
     "consensus_keep_mask",
     "fast_fft_length",
     "min_whd_grid_batched",
     "offset_candidates",
+    "pack_chunk",
     "pair_bounds",
     "pair_lower_bounds",
     "pairs_cannot_beat_reference",
     "realign_site_batched",
+    "unpack_chunk",
 ]

@@ -101,15 +101,40 @@ class _CounterSink:
         self.counters[name] = self.counters.get(name, 0) + int(delta)
 
 
+#: Per-worker invariant state, set once by the pool initializer. The
+#: EngineConfig never varies between chunks of one run, so shipping it
+#: in every task payload (as the engine originally did) re-pickled the
+#: same bytes per chunk; the initializer sends it exactly once per
+#: worker process.
+_WORKER_CONFIG: Optional[EngineConfig] = None
+
+
+def _init_worker(config: EngineConfig) -> None:
+    """Pool initializer: install the run-invariant engine config."""
+    global _WORKER_CONFIG
+    _WORKER_CONFIG = config
+
+
 def _run_chunk(payload) -> Tuple[int, List[SiteResult], float, float, Dict[str, int]]:
     """Worker entry point: realign one chunk of sites.
 
     Module-level (not a closure) so it pickles under both fork and
-    spawn start methods. ``time.perf_counter`` is CLOCK_MONOTONIC on
-    Linux, so the returned timestamps are comparable across processes
-    and the parent can lay shards on a shared timeline.
+    spawn start methods. The payload carries only what varies per task
+    -- ``(chunk_id, sites)``; the config comes from the initializer.
     """
-    chunk_id, sites, config = payload
+    chunk_id, sites = payload
+    return _realign_chunk(chunk_id, sites, _WORKER_CONFIG)
+
+
+def _realign_chunk(
+    chunk_id: int, sites: Sequence[RealignmentSite], config: EngineConfig
+) -> Tuple[int, List[SiteResult], float, float, Dict[str, int]]:
+    """Realign one chunk (shared by the pool, inline, and stream paths).
+
+    ``time.perf_counter`` is CLOCK_MONOTONIC on Linux, so the returned
+    timestamps are comparable across processes and the parent can lay
+    shards on a shared timeline.
+    """
     start = time.perf_counter()
     sink = _CounterSink()
     memo = PairMemo(config.memo_capacity) if config.memo_capacity else None
@@ -162,13 +187,16 @@ class Engine:
             return []
         run_start = time.perf_counter()
         payloads = [
-            (chunk_id, list(sites[lo : lo + self.config.batch]), self.config)
+            (chunk_id, list(sites[lo : lo + self.config.batch]))
             for chunk_id, lo in enumerate(
                 range(0, len(sites), self.config.batch)
             )
         ]
         if self.config.workers == 1 or len(payloads) == 1:
-            outcomes = [_run_chunk(payload) for payload in payloads]
+            outcomes = [
+                _realign_chunk(chunk_id, chunk, self.config)
+                for chunk_id, chunk in payloads
+            ]
         else:
             pool = self._ensure_pool()
             outcomes = list(pool.imap_unordered(_run_chunk, payloads))
@@ -200,7 +228,11 @@ class Engine:
                 ctx = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX platforms
                 ctx = multiprocessing.get_context()
-            self._pool = ctx.Pool(processes=self.config.workers)
+            self._pool = ctx.Pool(
+                processes=self.config.workers,
+                initializer=_init_worker,
+                initargs=(self.config,),
+            )
         return self._pool
 
     def close(self) -> None:

@@ -1,0 +1,293 @@
+"""Shared-memory site arenas: zero-copy worker dispatch.
+
+The barrier engine pickles every :class:`~repro.realign.site.RealignmentSite`
+into the pool's task pipe and pickles every grid back -- per-chunk IPC
+that grows with site size and is pure overhead (the paper's host avoids
+the same cost by DMA-ing sites into FPGA DRAM once and passing the
+units *addresses*). This module is the software analogue of that DMA
+arena: a chunk's base strings, quality scores, and consensus windows
+are packed into one contiguous ``multiprocessing.shared_memory`` block,
+and the task pipe carries only a :class:`ChunkDescriptor` -- site
+shapes plus one arena name, a few hundred bytes regardless of how many
+megabases the chunk holds.
+
+Workers attach the arena by name and rebuild sites with
+:meth:`~repro.realign.site.RealignmentSite.trusted` (the bytes were
+validated when the parent built the sites; re-validating per worker
+would spend the win). Quality arrays are copied out of the arena on
+unpack so no numpy view can outlive the mapping -- the *dispatch* is
+what is zero-copy, not the decode (see docs/PERFORMANCE.md "Streaming
+& memory model" for the full accounting).
+
+When ``multiprocessing.shared_memory`` is unavailable (some platforms
+build Python without it) -- or when the caller passes
+``use_shmem=False`` (the CLI's ``--no-shmem``) -- ``pack_chunk``
+transparently falls back to carrying the same packed buffer inline in
+the descriptor, which pickles as one ``bytes`` object: still cheaper
+than per-site object pickling, with identical unpack semantics.
+
+Lifecycle contract: the parent owns every arena. ``pack_chunk`` returns
+the descriptor plus a handle the parent must ``release()`` once the
+chunk's results arrive (or on abort); workers only ever attach and
+close. On POSIX, unlinking while a worker is still attached is safe --
+the mapping survives until the last close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.realign.site import PAPER_LIMITS, RealignmentSite, SiteLimits
+
+try:  # CPython builds without POSIX shm (or _multiprocessing) lack this
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exercised only on exotic builds
+    _shared_memory = None
+
+#: True when shared-memory arenas can actually be created here.
+HAVE_SHARED_MEMORY = _shared_memory is not None
+
+
+@dataclass(frozen=True)
+class SiteRecord:
+    """One site's shape inside an arena: everything but the bytes.
+
+    Offsets are relative to the start of the arena. Layout per site is
+    ``consensuses | reads | quals``, each field a plain concatenation of
+    the per-sequence byte runs in declaration order.
+    """
+
+    chrom: str
+    start: int
+    offset: int
+    cons_lengths: Tuple[int, ...]
+    read_lengths: Tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(self.cons_lengths) + 2 * sum(self.read_lengths)
+
+
+@dataclass(frozen=True)
+class ChunkDescriptor:
+    """The picklable task payload for one chunk of sites.
+
+    Exactly one of ``arena`` (a shared-memory block name) and
+    ``payload`` (the packed bytes carried inline) is set; ``unpack_chunk``
+    treats both identically.
+    """
+
+    chunk_id: int
+    sites: Tuple[SiteRecord, ...]
+    nbytes: int
+    arena: Optional[str] = None
+    payload: Optional[bytes] = None
+    limits: SiteLimits = PAPER_LIMITS
+
+    def __post_init__(self) -> None:
+        if (self.arena is None) == (self.payload is None):
+            raise ValueError(
+                "exactly one of arena and payload must be set"
+            )
+
+
+class ArenaHandle:
+    """Parent-side ownership of one chunk's arena (no-op for inline)."""
+
+    def __init__(self, shm=None):
+        self._shm = shm
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size if self._shm is not None else 0
+
+    def release(self) -> None:
+        """Unlink + unmap the arena; idempotent."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+        finally:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.release()
+        except Exception:
+            pass
+
+
+def _pack_into(buffer: memoryview, sites: Sequence[RealignmentSite],
+               ) -> List[SiteRecord]:
+    """Lay every site's bytes into ``buffer``; return their records."""
+    records: List[SiteRecord] = []
+    cursor = 0
+    out = np.frombuffer(buffer, dtype=np.uint8)
+    for site in sites:
+        offset = cursor
+        for cons in site.consensuses:
+            run = np.frombuffer(cons.encode("ascii"), dtype=np.uint8)
+            out[cursor : cursor + run.size] = run
+            cursor += run.size
+        for read in site.reads:
+            run = np.frombuffer(read.encode("ascii"), dtype=np.uint8)
+            out[cursor : cursor + run.size] = run
+            cursor += run.size
+        for qual in site.quals:
+            out[cursor : cursor + qual.size] = qual
+            cursor += qual.size
+        records.append(SiteRecord(
+            chrom=site.chrom,
+            start=site.start,
+            offset=offset,
+            cons_lengths=tuple(len(c) for c in site.consensuses),
+            read_lengths=tuple(len(r) for r in site.reads),
+        ))
+    return records
+
+
+def pack_chunk(
+    chunk_id: int,
+    sites: Sequence[RealignmentSite],
+    use_shmem: bool = True,
+) -> Tuple[ChunkDescriptor, ArenaHandle]:
+    """Encode ``sites`` into one arena; returns (descriptor, handle).
+
+    The descriptor is safe to pickle into a worker; the handle stays
+    with the caller, who must ``release()`` it once the chunk's results
+    are back. With ``use_shmem=False`` (or no shared-memory support)
+    the bytes ride inline and the handle is a no-op.
+    """
+    total = sum(
+        sum(len(c) for c in site.consensuses) + 2 * sum(
+            len(r) for r in site.reads
+        )
+        for site in sites
+    )
+    limits = sites[0].limits if sites else PAPER_LIMITS
+    if use_shmem and HAVE_SHARED_MEMORY and total > 0:
+        shm = _shared_memory.SharedMemory(create=True, size=total)
+        records = _pack_into(shm.buf, sites)
+        return (
+            ChunkDescriptor(
+                chunk_id=chunk_id, sites=tuple(records), nbytes=total,
+                arena=shm.name, limits=limits,
+            ),
+            ArenaHandle(shm),
+        )
+    buffer = bytearray(total)
+    records = _pack_into(memoryview(buffer), sites)
+    return (
+        ChunkDescriptor(
+            chunk_id=chunk_id, sites=tuple(records), nbytes=total,
+            payload=bytes(buffer), limits=limits,
+        ),
+        ArenaHandle(None),
+    )
+
+
+def ensure_resource_tracker() -> None:
+    """Start the resource tracker *before* the engine forks its pool.
+
+    If the tracker is not yet running when the pool forks, each worker
+    lazily spawns its own tracker on its first arena attach; those
+    private trackers never see the parent's ``unlink`` and complain
+    about (already-gone) leaked segments at exit. Starting the tracker
+    in the parent first means every forked worker inherits it, so
+    attach-side registrations and the parent's unlink meet in one
+    cache. No-op where the tracker does not exist (Windows).
+    """
+    try:  # pragma: no cover - platform dependent
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception:
+        pass
+
+
+def _attach(name: str):
+    """Attach an existing arena without adopting its lifecycle.
+
+    ``SharedMemory(name=...)`` registers the segment with the resource
+    tracker even on attach (opt-out arrives only with 3.13's
+    ``track=False``). Under the engine's fork-context pool the workers
+    inherit the *parent's* tracker, so the attach-side registration is
+    a duplicate entry in a set -- harmless -- and must NOT be
+    "corrected" with ``unregister``: that would delete the parent's own
+    registration and turn every later ``unlink`` into tracker noise.
+    """
+    return _shared_memory.SharedMemory(name=name)
+
+
+def _decode(raw, descriptor: ChunkDescriptor) -> List[RealignmentSite]:
+    """Decode every site out of ``raw``; nothing returned aliases it."""
+    data = np.frombuffer(raw, dtype=np.uint8)
+    sites: List[RealignmentSite] = []
+    for record in descriptor.sites:
+        cursor = record.offset
+        consensuses = []
+        for length in record.cons_lengths:
+            consensuses.append(
+                data[cursor : cursor + length].tobytes().decode("ascii")
+            )
+            cursor += length
+        reads = []
+        for length in record.read_lengths:
+            reads.append(
+                data[cursor : cursor + length].tobytes().decode("ascii")
+            )
+            cursor += length
+        quals = []
+        for length in record.read_lengths:
+            quals.append(data[cursor : cursor + length].copy())
+            cursor += length
+        sites.append(RealignmentSite.trusted(
+            chrom=record.chrom,
+            start=record.start,
+            consensuses=tuple(consensuses),
+            reads=tuple(reads),
+            quals=tuple(quals),
+            limits=descriptor.limits,
+        ))
+    return sites
+
+
+def unpack_chunk(descriptor: ChunkDescriptor) -> List[RealignmentSite]:
+    """Rebuild the chunk's sites from its arena (or inline payload).
+
+    The returned sites own their memory (strings are decoded, quality
+    arrays copied), so the arena can be released as soon as this
+    returns -- no view escapes into the result.
+    """
+    if descriptor.arena is None:
+        return _decode(memoryview(descriptor.payload), descriptor)
+    if not HAVE_SHARED_MEMORY:  # pragma: no cover - defensive
+        raise RuntimeError(
+            "descriptor names a shared-memory arena but this "
+            "interpreter has no multiprocessing.shared_memory"
+        )
+    shm = _attach(descriptor.arena)
+    try:
+        # _decode's temporaries are the only exports of shm.buf and die
+        # with its frame, so close() cannot hit a live-view BufferError.
+        return _decode(shm.buf, descriptor)
+    finally:
+        shm.close()
+
+
+__all__ = [
+    "ArenaHandle",
+    "ChunkDescriptor",
+    "HAVE_SHARED_MEMORY",
+    "SiteRecord",
+    "ensure_resource_tracker",
+    "pack_chunk",
+    "unpack_chunk",
+]

@@ -1,0 +1,297 @@
+"""The streaming data plane: overlapped dispatch, incremental merge.
+
+:class:`repro.engine.parallel.Engine` is a barrier engine: it submits
+every chunk, blocks on ``list(imap_unordered(...))``, and only then
+merges -- so peak memory scales with the *whole* site list's results
+and the fastest workers idle through the tail. The paper's system keeps
+its 32 units saturated by overlapping host DMA with on-chip compute;
+:class:`StreamingEngine` is the software mirror of that dataflow:
+
+- **bounded in-flight window.** At most ``queue_depth x workers``
+  chunks are in flight or parked in the reorder buffer; the next chunk
+  is submitted only when a slot truly frees (backpressure), so peak
+  memory is the window, not the chromosome.
+- **zero-copy dispatch.** Each submitted chunk's sequences travel
+  through a shared-memory arena (:mod:`repro.engine.shmem`); the task
+  pipe carries a descriptor of a few hundred bytes. ``use_shmem=False``
+  (or a platform without ``multiprocessing.shared_memory``) falls back
+  to carrying the packed bytes inline -- same semantics, one pickle
+  copy more.
+- **incremental in-order merge.** A :class:`ReorderBuffer` re-sequences
+  completed chunks into submission order and ``stream_sites`` yields
+  each site's result *as soon as its chunk's turn comes* -- the
+  realigned SAM downstream is byte-identical to the serial kernel (the
+  chunk boundaries and kernel are exactly the barrier engine's), but
+  the first results emerge while later chunks are still computing, and
+  nothing holds the full result list unless the caller builds one.
+
+Telemetry (all optional, zero overhead when off): ``CAT_STREAM`` spans
+-- one per chunk, overlapping across workers -- plus
+``stream.chunks`` / ``stream.arena_bytes`` / ``stream.max_in_flight`` /
+``stream.reorder_peak`` / ``stream.backpressure_us`` counters
+(see docs/TELEMETRY.md).
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.engine.parallel import (
+    Engine,
+    EngineConfig,
+    ShardStats,
+    _realign_chunk,
+)
+from repro.engine.shmem import (
+    HAVE_SHARED_MEMORY,
+    ensure_resource_tracker,
+    pack_chunk,
+    unpack_chunk,
+)
+from repro.realign.site import RealignmentSite
+from repro.realign.whd import SiteResult
+
+
+def _run_stream_chunk(descriptor):
+    """Worker entry point: decode one arena chunk and realign it."""
+    from repro.engine import parallel
+
+    sites = unpack_chunk(descriptor)
+    return _realign_chunk(descriptor.chunk_id, sites,
+                          parallel._WORKER_CONFIG)
+
+
+class ReorderBuffer:
+    """Re-sequence out-of-order completions into submission order.
+
+    ``push(index, value)`` files one completion and returns every value
+    that became emittable (the contiguous run starting at the next
+    expected index) -- the incremental analogue of the barrier engine's
+    end-of-run merge. ``peak_pending`` records the deepest the buffer
+    ever got: with random completion order it is bounded by the
+    in-flight window, which is what bounds the stream's peak memory.
+
+    >>> buffer = ReorderBuffer()
+    >>> buffer.push(2, "c"), buffer.push(1, "b")
+    ([], [])
+    >>> buffer.push(0, "a")
+    ['a', 'b', 'c']
+    >>> buffer.pending, buffer.peak_pending
+    (0, 2)
+    """
+
+    def __init__(self, start: int = 0):
+        self._next = start
+        self._held: Dict[int, object] = {}
+        self.peak_pending = 0
+
+    @property
+    def pending(self) -> int:
+        return len(self._held)
+
+    @property
+    def next_index(self) -> int:
+        return self._next
+
+    def push(self, index: int, value) -> List:
+        if index < self._next or index in self._held:
+            raise ValueError(f"chunk {index} already emitted or buffered")
+        self._held[index] = value
+        self.peak_pending = max(self.peak_pending, len(self._held))
+        ready: List = []
+        while self._next in self._held:
+            ready.append(self._held.pop(self._next))
+            self._next += 1
+        return ready
+
+
+class StreamingEngine(Engine):
+    """Engine with streaming dispatch and incremental in-order results.
+
+    Drop-in for :class:`~repro.engine.parallel.Engine` everywhere an
+    engine is accepted (``IndelRealigner``, ``AcceleratedRealigner``,
+    the CLI): :meth:`run_sites` returns the same list, byte-identical
+    at any worker count, queue depth, or shmem setting. The new
+    capability is :meth:`stream_sites`, a generator that yields results
+    in input order as chunks complete.
+
+    ``queue_depth`` is the number of in-flight chunks *per worker*; 2
+    (the default) keeps every worker one chunk ahead -- enough to hide
+    dispatch latency, small enough to bound memory and let
+    work-stealing balance the tail.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        queue_depth: int = 2,
+        use_shmem: bool = True,
+    ):
+        super().__init__(config)
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.queue_depth = queue_depth
+        self.use_shmem = bool(use_shmem) and HAVE_SHARED_MEMORY
+        #: Stream-plane observations from the latest run.
+        self.stream_stats: Dict[str, int] = {}
+
+    # -- public API -----------------------------------------------------
+    def run_sites(
+        self,
+        sites: Sequence[RealignmentSite],
+        telemetry=None,
+    ) -> List[SiteResult]:
+        """Barrier-compatible entry point over the streaming plane."""
+        return list(self.stream_sites(sites, telemetry=telemetry))
+
+    def stream_sites(
+        self,
+        sites: Sequence[RealignmentSite],
+        telemetry=None,
+    ) -> Iterator[SiteResult]:
+        """Yield one :class:`SiteResult` per site, in input order.
+
+        Results for site ``i`` are yielded as soon as every chunk up to
+        ``i``'s has completed -- consumers downstream (the streaming
+        refinement pipeline, an eventual service endpoint) overlap
+        their work with the chunks still in flight. Abandoning the
+        generator mid-stream is safe: arenas are released and the pool
+        survives for the next run.
+        """
+        self.shard_stats = []
+        self.stream_stats = {}
+        if not sites:
+            return
+        chunks = [
+            (chunk_id, list(sites[lo : lo + self.config.batch]))
+            for chunk_id, lo in enumerate(
+                range(0, len(sites), self.config.batch)
+            )
+        ]
+        run_start = time.perf_counter()
+        if self.config.workers == 1 or len(chunks) == 1:
+            yield from self._stream_inline(chunks, telemetry, run_start)
+        else:
+            yield from self._stream_pooled(chunks, telemetry, run_start)
+
+    # -- single-process path --------------------------------------------
+    def _stream_inline(self, chunks, telemetry, run_start):
+        """workers=1: no pool, no arenas -- but still chunk-incremental."""
+        merged: Dict[str, int] = {}
+        for chunk_id, chunk in chunks:
+            outcome = _realign_chunk(chunk_id, chunk, self.config)
+            self._file_outcome(outcome, len(chunk), merged)
+            yield from outcome[1]
+        self._finish(telemetry, merged, run_start, in_flight_peak=1,
+                     reorder_peak=0, backpressure_us=0, arena_bytes=0)
+
+    # -- pooled path ----------------------------------------------------
+    def _stream_pooled(self, chunks, telemetry, run_start):
+        if self.use_shmem:
+            # Must happen before the pool forks: workers inherit the
+            # parent's resource tracker instead of spawning their own
+            # (see shmem.ensure_resource_tracker).
+            ensure_resource_tracker()
+        pool = self._ensure_pool()
+        window = self.queue_depth * self.config.workers
+        done: queue_module.Queue = queue_module.Queue()
+        arenas: Dict[int, object] = {}
+        reorder = ReorderBuffer()
+        merged: Dict[str, int] = {}
+        arena_bytes = 0
+        backpressure_us = 0
+        in_flight = 0
+        in_flight_peak = 0
+        submitted = 0
+        completed = 0
+        try:
+            while completed < len(chunks):
+                # Chunks held in the reorder buffer count against the
+                # window: they are finished results waiting on a slower
+                # predecessor, and submitting past them would let peak
+                # memory grow beyond the window whenever the head chunk
+                # is the slow one. No deadlock lurks here -- submission
+                # is in order, so the next expected chunk is always
+                # either in flight or already emitted.
+                while (submitted < len(chunks)
+                       and in_flight + reorder.pending < window):
+                    chunk_id, chunk = chunks[submitted]
+                    descriptor, handle = pack_chunk(
+                        chunk_id, chunk, use_shmem=self.use_shmem
+                    )
+                    arenas[chunk_id] = handle
+                    arena_bytes += descriptor.nbytes
+                    pool.apply_async(
+                        _run_stream_chunk, (descriptor,),
+                        callback=done.put, error_callback=done.put,
+                    )
+                    submitted += 1
+                    in_flight += 1
+                    in_flight_peak = max(in_flight_peak, in_flight)
+                # The window is full (or the tail is draining): block
+                # until a chunk completes. Time spent here with tasks
+                # still unsubmitted is backpressure by definition.
+                wait_start = time.perf_counter()
+                outcome = done.get()
+                if submitted < len(chunks):
+                    backpressure_us += int(
+                        (time.perf_counter() - wait_start) * 1e6
+                    )
+                if isinstance(outcome, BaseException):
+                    raise outcome
+                chunk_id = outcome[0]
+                arenas.pop(chunk_id).release()
+                in_flight -= 1
+                completed += 1
+                self._file_outcome(outcome, len(chunks[chunk_id][1]),
+                                   merged)
+                for chunk_results in reorder.push(chunk_id, outcome[1]):
+                    yield from chunk_results
+        finally:
+            for handle in arenas.values():
+                handle.release()
+            arenas.clear()
+        self._finish(telemetry, merged, run_start,
+                     in_flight_peak=in_flight_peak,
+                     reorder_peak=reorder.peak_pending,
+                     backpressure_us=backpressure_us,
+                     arena_bytes=arena_bytes)
+
+    # -- shared bookkeeping ---------------------------------------------
+    def _file_outcome(self, outcome, num_sites: int,
+                      merged: Dict[str, int]) -> None:
+        chunk_id, _results, start, end, counters = outcome
+        self.shard_stats.append(ShardStats(
+            shard=chunk_id, sites=num_sites,
+            start=start, end=end, counters=counters,
+        ))
+        for name, value in counters.items():
+            merged[name] = merged.get(name, 0) + value
+
+    def _finish(self, telemetry, merged, run_start, *, in_flight_peak,
+                reorder_peak, backpressure_us, arena_bytes) -> None:
+        from repro.perf.fleet import record_stream_chunks
+
+        self.shard_stats.sort(key=lambda s: s.shard)
+        self.stream_stats = {
+            "stream.chunks": len(self.shard_stats),
+            "stream.queue_depth": self.queue_depth,
+            "stream.max_in_flight": in_flight_peak,
+            "stream.reorder_peak": reorder_peak,
+            "stream.backpressure_us": backpressure_us,
+            "stream.arena_bytes": arena_bytes,
+            "stream.shmem": int(self.use_shmem),
+        }
+        if telemetry is not None:
+            for name, value in merged.items():
+                telemetry.count(name, value)
+            for name, value in self.stream_stats.items():
+                telemetry.count(name, value)
+            record_stream_chunks(telemetry, self.shard_stats,
+                                 origin=run_start,
+                                 workers=self.config.workers)
+
+
+__all__ = ["ReorderBuffer", "StreamingEngine"]

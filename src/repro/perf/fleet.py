@@ -187,6 +187,39 @@ def record_engine_shards(telemetry, shards, origin: Optional[float] = None,
     telemetry.count("engine.workers", workers)
 
 
+def record_stream_chunks(telemetry, shards, origin: Optional[float] = None,
+                         workers: int = 1) -> None:
+    """Record a streaming-engine run as a span timeline (one track/chunk).
+
+    Companion to :func:`record_engine_shards` for
+    :class:`repro.engine.stream.StreamingEngine`: each completed chunk
+    becomes one ``CAT_STREAM`` span offset from ``origin`` on the shared
+    ``perf_counter`` clock. Because the stream overlaps dispatch with
+    compute, a Chrome trace of these spans shows the staggered start
+    times the bounded window produces -- the visual signature of
+    backpressure is chunks starting later than ``queue_depth x workers``
+    would allow.
+    """
+    from repro.telemetry.spans import CAT_STREAM
+
+    if telemetry is None or not shards:
+        return
+    if telemetry.ticks_per_second is None:
+        telemetry.ticks_per_second = 1.0
+    base = origin if origin is not None else min(s.start for s in shards)
+    for shard in shards:
+        telemetry.span(
+            f"chunk {shard.shard} ({shard.sites} sites)",
+            f"stream chunk {shard.shard}",
+            shard.start - base,
+            shard.end - base,
+            CAT_STREAM,
+        )
+    telemetry.count("engine.shards", len(shards))
+    telemetry.count("engine.shard_sites", sum(s.sites for s in shards))
+    telemetry.count("engine.workers", workers)
+
+
 @dataclass(frozen=True)
 class PreemptionEvent:
     """One spot reclamation: instance ``instance`` dies at ``at_seconds``."""

@@ -156,11 +156,18 @@ def identify_targets(
 def reads_for_target(
     target: RealignmentTarget, reads: Sequence[Read]
 ) -> List[Read]:
-    """Reads anchored in the target per the paper's membership rule."""
+    """Reads anchored in the target per the paper's membership rule.
+
+    Membership is per-contig: ``anchored_in`` compares coordinates
+    only, so without the ``chrom`` check a read from another contig at
+    numerically overlapping positions would be realigned against this
+    target's window.
+    """
     return [
         read
         for read in reads
         if read.is_mapped
+        and read.chrom == target.chrom
         and not read.is_duplicate
         and read.anchored_in(target.start, target.end)
     ]

@@ -15,7 +15,7 @@ passes are numpy-vectorized per read segment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -86,43 +86,69 @@ class BqsrModel:
         return int((self.observations > 0).sum())
 
 
-def _variant_like_positions(
-    reads: Sequence[Read], reference: ReferenceGenome
+def variant_mask(
+    columns, reference: ReferenceGenome
 ) -> Set[Tuple[str, int]]:
     """Columns where every read disagrees with the reference: likely
-    real variants, masked from error counting."""
-    columns = pileup(reads)
+    real variants, masked from error counting.
+
+    Takes the pileup columns rather than the reads so the streaming
+    pipeline can accumulate columns region-by-region (columns key on
+    ``(chrom, pos)``; regions never share a position) and derive the
+    identical mask at drain time.
+    """
     return {
         key
         for key, col in columns.items()
         if col.depth >= 2
+        # Realignment can leave a read's tail hanging past the contig
+        # end; columns without a reference base cannot be compared.
+        and 0 <= key[1] < reference.length(key[0])
         and all(b != reference.fetch(key[0], key[1], key[1] + 1)
                 for b in col.bases)
     }
 
 
-def fit_model(
+def _variant_like_positions(
     reads: Sequence[Read], reference: ReferenceGenome
+) -> Set[Tuple[str, int]]:
+    return variant_mask(pileup(reads), reference)
+
+
+def fit_model(
+    reads: Sequence[Read],
+    reference: ReferenceGenome,
+    masked: Optional[Set[Tuple[str, int]]] = None,
 ) -> BqsrModel:
-    """First pass: tabulate empirical mismatch rates per covariate."""
+    """First pass: tabulate empirical mismatch rates per covariate.
+
+    ``masked`` optionally supplies a precomputed variant mask (from
+    :func:`variant_mask` over incrementally merged columns); by default
+    it is derived from ``reads`` directly.
+    """
     model = BqsrModel()
-    masked = _variant_like_positions(reads, reference)
+    if masked is None:
+        masked = _variant_like_positions(reads, reference)
     for read in reads:
         if not read.is_mapped or read.is_duplicate:
             continue
         read_arr = seq_to_array(read.seq)
         read_offset = 0
         ref_pos = read.pos
+        contig_length = reference.length(read.chrom)
         for op, length in read.cigar:
             if op is CigarOp.MATCH:
+                # Bases past the contig end (a realignment can shift a
+                # read's tail off it) have no reference to compare to.
+                usable = min(length, max(0, contig_length - ref_pos))
                 window = seq_to_array(
-                    reference.fetch(read.chrom, ref_pos, ref_pos + length)
+                    reference.fetch(read.chrom, ref_pos, ref_pos + usable)
                 )
-                segment = slice(read_offset, read_offset + length)
-                cycles = np.arange(read_offset, read_offset + length)
+                segment = slice(read_offset, read_offset + usable)
+                cycles = np.arange(read_offset, read_offset + usable)
                 keep = np.array(
                     [(read.chrom, ref_pos + i) not in masked
-                     for i in range(length)]
+                     for i in range(usable)]
                 )
                 if keep.any():
                     model.observe_batch(
@@ -138,10 +164,12 @@ def fit_model(
 
 
 def recalibrate(
-    reads: Sequence[Read], reference: ReferenceGenome
+    reads: Sequence[Read],
+    reference: ReferenceGenome,
+    masked: Optional[Set[Tuple[str, int]]] = None,
 ) -> Tuple[List[Read], BqsrModel]:
     """Two-pass BQSR: fit the table, then rewrite every read's scores."""
-    model = fit_model(reads, reference)
+    model = fit_model(reads, reference, masked=masked)
     table = model.quality_table()
     updated: List[Read] = []
     for read in reads:

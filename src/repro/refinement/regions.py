@@ -1,0 +1,114 @@
+"""Region partitioning for the streaming refinement pipeline.
+
+The refinement stages are only *globally* defined -- duplicate groups,
+realignment targets, and pileup columns all form over the whole read
+set -- so streaming them region-by-region is exact only when regions
+are cut where no cross-region structure can exist. This module owns
+those cuts and the argument for why they are safe:
+
+- **contig buckets.** Duplicate groups key on ``(chrom, unclipped
+  start, strand)``, target identification accumulates evidence per
+  contig, and pileup columns key on ``(chrom, pos)`` -- none of the
+  three ever spans contigs, so per-contig processing concatenated in
+  contig-rank order (reference declaration order, then unknown contigs
+  by name, unmapped last -- exactly ``sort_reads``'s top-level key) is
+  the global computation.
+- **gap splits within a contig.** A sorted contig is further cut
+  between consecutive reads when the next read starts more than
+  ``region_gap`` bases after every earlier read has ended. With the
+  default gap (4096) the cut clears every cross-read structure the
+  stages build: duplicate groups reach at most one leading soft clip
+  (< 256, the read-length limit) left of a member's ``pos``; pileup
+  columns live strictly inside read spans; and a target's consensus
+  window extends at most ``flank + max_consensus_length/2``
+  (250 + 1024) beyond its evidence loci, which themselves lie inside
+  read spans -- so reads on opposite sides of a 4096-base quiet zone
+  can never share a group, a column, or a window.
+
+The decomposition inherits the realigner's existing assumption that
+read names are globally unique (its update map and claim set already
+key on name).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.genomics.read import Read
+from repro.genomics.reference import ReferenceGenome
+
+#: Minimum coverage gap (bases) at which a contig may be cut into
+#: independent regions. See the module docstring for why 4096 clears
+#: every cross-read structure the refinement stages build.
+DEFAULT_REGION_GAP = 4096
+
+
+def contig_buckets(
+    reads: Sequence[Read],
+    reference: Optional[ReferenceGenome] = None,
+) -> List[List[Read]]:
+    """Partition reads into per-contig buckets, in final output order.
+
+    Buckets come back in the order their reads must appear in the
+    sorted output -- known contigs in reference declaration order,
+    unknown contigs lexicographically after them, unmapped reads in one
+    final bucket -- and each bucket preserves input order, so
+    per-bucket stable sorting then concatenating reproduces the global
+    stable sort byte-for-byte.
+    """
+    mapped: Dict[str, List[Read]] = {}
+    unmapped: List[Read] = []
+    for read in reads:
+        if read.is_mapped:
+            mapped.setdefault(read.chrom, []).append(read)
+        else:
+            unmapped.append(read)
+    if reference is not None:
+        rank = {name: i for i, name in enumerate(reference.contig_names)}
+    else:
+        rank = {}
+    ordered = sorted(
+        mapped,
+        key=lambda chrom: (
+            (0, rank[chrom]) if chrom in rank else (1, chrom)
+        ),
+    )
+    buckets = [mapped[chrom] for chrom in ordered]
+    if unmapped:
+        buckets.append(unmapped)
+    return buckets
+
+
+def split_regions(
+    sorted_reads: Sequence[Read],
+    region_gap: int = DEFAULT_REGION_GAP,
+) -> List[List[Read]]:
+    """Cut one sorted contig (or the unmapped bucket) at safe gaps.
+
+    ``sorted_reads`` must already be in coordinate order. A cut is
+    placed before a read that starts more than ``region_gap`` bases
+    past the furthest reference end seen so far -- tracking the running
+    maximum end, not the previous read's, because a long earlier read
+    can span past many short successors. Unmapped reads (no
+    coordinates, no cross-read structure) stay as one region.
+    """
+    if region_gap < 0:
+        raise ValueError(f"region_gap must be >= 0, got {region_gap}")
+    if not sorted_reads:
+        return []
+    if not sorted_reads[0].is_mapped:
+        return [list(sorted_reads)]
+    regions: List[List[Read]] = []
+    current: List[Read] = [sorted_reads[0]]
+    frontier = sorted_reads[0].end
+    for read in sorted_reads[1:]:
+        if read.pos > frontier + region_gap:
+            regions.append(current)
+            current = []
+        current.append(read)
+        frontier = max(frontier, read.end)
+    regions.append(current)
+    return regions
+
+
+__all__ = ["DEFAULT_REGION_GAP", "contig_buckets", "split_regions"]

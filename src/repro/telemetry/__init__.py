@@ -40,6 +40,7 @@ from repro.telemetry.spans import (
     CAT_FALLBACK,
     CAT_FAULTED,
     CAT_FLEET,
+    CAT_STREAM,
     CAT_TRANSFER,
     Telemetry,
     TraceInstant,
@@ -53,6 +54,7 @@ __all__ = [
     "CAT_FALLBACK",
     "CAT_FAULTED",
     "CAT_FLEET",
+    "CAT_STREAM",
     "CAT_TRANSFER",
     "CHANNEL_UNIT",
     "CounterBoard",

@@ -23,6 +23,13 @@ from repro.telemetry.spans import Telemetry, unit_track
 #: Synthetic process id for the single-process trace.
 TRACE_PID = 1
 
+#: Minimum exported span duration in microseconds. Chrome/Perfetto drop
+#: zero-width complete events from the render entirely, so a span whose
+#: ticks round to zero (e.g. a sub-cycle stream chunk on a coarse
+#: timebase) would silently vanish from the timeline; a 1 us sliver
+#: keeps it visible and clickable.
+MIN_SPAN_DURATION_US = 1.0
+
 
 def _track_order(track: str) -> int:
     """Stable display order: channel, units ascending, host fallback."""
@@ -78,7 +85,7 @@ def _session_events(telemetry: Telemetry, pid: int) -> List[Dict]:
             "name": span.name,
             "cat": span.category or "span",
             "ts": span.start * us_per_tick,
-            "dur": span.duration * us_per_tick,
+            "dur": max(span.duration * us_per_tick, MIN_SPAN_DURATION_US),
             "args": dict(span.args),
         })
     for instant in telemetry.instants:
@@ -140,6 +147,7 @@ def counters_dict(telemetry: Telemetry) -> Dict[str, int]:
 __all__ = [
     "CHANNEL_UNIT",
     "HOST_UNIT",
+    "MIN_SPAN_DURATION_US",
     "TRACE_PID",
     "counters_dict",
     "to_chrome_trace",

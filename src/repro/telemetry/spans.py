@@ -40,6 +40,7 @@ CAT_TRANSFER = "transfer"    # PCIe channel occupancy for one target
 CAT_FALLBACK = "fallback"    # software completion on the host CPU
 CAT_FLEET = "fleet"          # one job on one fleet instance
 CAT_ENGINE = "engine"        # one shard on a host worker process
+CAT_STREAM = "stream"        # one chunk in the streaming data plane
 
 
 def unit_track(unit: int) -> str:
