@@ -40,8 +40,13 @@ COMPLEXITIES = (0.5, 0.75, 1.0, 1.25, 1.5, 2.0)
 #: Throughput-gate tolerance: the streaming plane must finish within
 #: this factor of the barrier engine's best time. The two planes run
 #: the identical kernel over identical chunks; the margin only absorbs
-#: scheduler/timer noise on loaded CI hosts, not a real regression.
-THROUGHPUT_TOLERANCE = 1.05
+#: scheduler/timer noise on loaded CI hosts, not a real regression --
+#: at the 48-site smoke scale a single run is ~100 ms, where shared
+#: runners routinely jitter by 10%+, so the gate combines best-of-N
+#: sampling (noise only ever slows a run down, so the minimum
+#: converges on the true cost) with this allowance on top.
+GATE_RUNS = 3
+THROUGHPUT_TOLERANCE = 1.10
 
 
 def _site_pool():
@@ -92,20 +97,34 @@ def _best_of(runs, func):
     return best
 
 
-def _peak_traced_bytes(func):
-    tracemalloc.start()
-    try:
-        tracemalloc.reset_peak()
-        func()
-        _current, peak = tracemalloc.get_traced_memory()
-    finally:
-        tracemalloc.stop()
-    return peak
+def _peak_traced_bytes(func, runs=1):
+    """Minimum peak traced-heap over ``runs`` executions of ``func``.
+
+    A single run's peak can be inflated by incidental allocations
+    (pool pickling buffers still queued, GC timing), so the gate takes
+    the best of N: transient noise only ever raises a peak, never
+    lowers it, so the minimum is the stable per-plane floor.
+    """
+    best = float("inf")
+    for _ in range(runs):
+        tracemalloc.start()
+        try:
+            tracemalloc.reset_peak()
+            func()
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        best = min(best, peak)
+    return best
 
 
 def test_stream_gate():
     """CI acceptance gate: no throughput regression, strictly lower
-    peak memory than the barrier engine at the committed smoke scale."""
+    peak memory than the barrier engine at the committed smoke scale.
+
+    Both comparisons are best-of-``GATE_RUNS`` with a documented
+    timing allowance (``THROUGHPUT_TOLERANCE``) so a single noisy
+    sample on a loaded shared runner cannot block unrelated PRs."""
     sites = _site_pool()
     config = EngineConfig(workers=POOL_WORKERS, batch=POOL_BATCH)
     with Engine(config) as barrier, StreamingEngine(
@@ -118,11 +137,14 @@ def test_stream_gate():
             assert a.same_outputs(b)
         del got, want
 
-        barrier_time = _best_of(3, lambda: barrier.run_sites(sites))
-        stream_time = _best_of(3, lambda: _consume_stream(stream, sites))
-        barrier_peak = _peak_traced_bytes(lambda: barrier.run_sites(sites))
+        barrier_time = _best_of(GATE_RUNS, lambda: barrier.run_sites(sites))
+        stream_time = _best_of(GATE_RUNS,
+                               lambda: _consume_stream(stream, sites))
+        barrier_peak = _peak_traced_bytes(
+            lambda: barrier.run_sites(sites), runs=GATE_RUNS
+        )
         stream_peak = _peak_traced_bytes(
-            lambda: _consume_stream(stream, sites)
+            lambda: _consume_stream(stream, sites), runs=GATE_RUNS
         )
 
     print(f"\nstream vs barrier at {len(sites)} sites, "

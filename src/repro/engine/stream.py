@@ -157,8 +157,9 @@ class StreamingEngine(Engine):
         ``i``'s has completed -- consumers downstream (the streaming
         refinement pipeline, an eventual service endpoint) overlap
         their work with the chunks still in flight. Abandoning the
-        generator mid-stream is safe: arenas are released and the pool
-        survives for the next run.
+        generator mid-stream is safe: arenas are released, the pool
+        survives for the next run, and ``stream_stats`` / telemetry
+        record the chunks that completed before the abandon.
         """
         self.shard_stats = []
         self.stream_stats = {}
@@ -180,12 +181,16 @@ class StreamingEngine(Engine):
     def _stream_inline(self, chunks, telemetry, run_start):
         """workers=1: no pool, no arenas -- but still chunk-incremental."""
         merged: Dict[str, int] = {}
-        for chunk_id, chunk in chunks:
-            outcome = _realign_chunk(chunk_id, chunk, self.config)
-            self._file_outcome(outcome, len(chunk), merged)
-            yield from outcome[1]
-        self._finish(telemetry, merged, run_start, in_flight_peak=1,
-                     reorder_peak=0, backpressure_us=0, arena_bytes=0)
+        try:
+            for chunk_id, chunk in chunks:
+                outcome = _realign_chunk(chunk_id, chunk, self.config)
+                self._file_outcome(outcome, len(chunk), merged)
+                yield from outcome[1]
+        finally:
+            # Runs on normal exhaustion AND when the consumer abandons
+            # the generator: whatever completed is still observed.
+            self._finish(telemetry, merged, run_start, in_flight_peak=1,
+                         reorder_peak=0, backpressure_us=0, arena_bytes=0)
 
     # -- pooled path ----------------------------------------------------
     def _stream_pooled(self, chunks, telemetry, run_start):
@@ -253,11 +258,14 @@ class StreamingEngine(Engine):
             for handle in arenas.values():
                 handle.release()
             arenas.clear()
-        self._finish(telemetry, merged, run_start,
-                     in_flight_peak=in_flight_peak,
-                     reorder_peak=reorder.peak_pending,
-                     backpressure_us=backpressure_us,
-                     arena_bytes=arena_bytes)
+            # In the finally so an abandoned or failed stream still
+            # folds the completed chunks' counters into telemetry and
+            # leaves stream_stats describing the partial run.
+            self._finish(telemetry, merged, run_start,
+                         in_flight_peak=in_flight_peak,
+                         reorder_peak=reorder.peak_pending,
+                         backpressure_us=backpressure_us,
+                         arena_bytes=arena_bytes)
 
     # -- shared bookkeeping ---------------------------------------------
     def _file_outcome(self, outcome, num_sites: int,

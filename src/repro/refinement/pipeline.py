@@ -282,7 +282,27 @@ class StreamingRefinementPipeline(RefinementPipeline):
             yield (index, updated)
 
         # -- wire the threads and feed them ----------------------------
+        # The feeder must be its own thread: the sort queue is bounded,
+        # so feeding from the main thread would deadlock once the
+        # aggregate queue capacity fills while the sole consumer of the
+        # final queue (the main thread) is still stuck in put().
+        feed_wait = [0.0]
+
+        def _feed() -> None:
+            try:
+                buckets = contig_buckets(reads, self.reference)
+                for index, bucket in enumerate(buckets):
+                    wait_start = time.perf_counter()
+                    queues["sort"].put((index, bucket))
+                    feed_wait[0] += time.perf_counter() - wait_start
+            except BaseException as exc:  # propagate to the caller
+                errors.append(exc)
+            finally:
+                queues["sort"].put(_DONE)
+
         threads = [
+            threading.Thread(target=_feed, name="refine-feed", daemon=True)
+        ] + [
             threading.Thread(
                 target=_stage, name=f"refine-{stage}", daemon=True,
                 args=(stage, queues[stage], queues[nxt], transform),
@@ -296,12 +316,6 @@ class StreamingRefinementPipeline(RefinementPipeline):
         ]
         for thread in threads:
             thread.start()
-        feed_wait = 0.0
-        for index, bucket in enumerate(contig_buckets(reads, self.reference)):
-            wait_start = time.perf_counter()
-            queues["sort"].put((index, bucket))
-            feed_wait += time.perf_counter() - wait_start
-        queues["sort"].put(_DONE)
 
         # -- BQSR pileup pass: this thread is the final stage ----------
         bqsr_stage = "base_quality_score_recalibration"
@@ -309,22 +323,35 @@ class StreamingRefinementPipeline(RefinementPipeline):
         columns: Dict = {}
         regions_seen = 0
         inbox = queues[bqsr_stage]
-        while True:
-            item = inbox.get()
-            if item is _DONE:
-                break
-            index, region = item
-            regions_seen += 1
-            start = time.perf_counter()
-            merge_columns(columns, pileup(region))
-            refined.extend(region)
-            end = time.perf_counter()
-            busy[bqsr_stage] += end - start
-            if telemetry is not None:
-                telemetry.span(f"region {index}", f"pipeline {bqsr_stage}",
-                               start - run_start, end - run_start, CAT_STREAM)
-        for thread in threads:
-            thread.join()
+        drained = False
+        try:
+            while True:
+                item = inbox.get()
+                if item is _DONE:
+                    drained = True
+                    break
+                index, region = item
+                regions_seen += 1
+                start = time.perf_counter()
+                merge_columns(columns, pileup(region))
+                refined.extend(region)
+                end = time.perf_counter()
+                busy[bqsr_stage] += end - start
+                if telemetry is not None:
+                    telemetry.span(
+                        f"region {index}", f"pipeline {bqsr_stage}",
+                        start - run_start, end - run_start, CAT_STREAM,
+                    )
+        finally:
+            # If the drain loop itself raised, the stage threads are
+            # still blocked on full queues; keep consuming until their
+            # _DONE arrives so backpressure clears, then join so no
+            # thread outlives the run.
+            if not drained:
+                while inbox.get() is not _DONE:
+                    pass
+            for thread in threads:
+                thread.join()
         if errors:
             raise errors[0]
 
@@ -345,7 +372,7 @@ class StreamingRefinementPipeline(RefinementPipeline):
             duplicates_marked=dup_marked[0],
         )
         result.realigner_report = realigner_report
-        backpressure_us = int((feed_wait + sum(waits.values())) * 1e6)
+        backpressure_us = int((feed_wait[0] + sum(waits.values())) * 1e6)
         self.stream_stats = {
             "pipeline.regions": regions_seen,
             "pipeline.queue_depth": self.queue_depth,

@@ -212,6 +212,22 @@ class TestStreamingEngine:
             # The engine is still usable after an abandoned stream.
             assert len(stream.run_sites(sites)) == len(sites)
 
+    def test_abandoned_generator_still_records_stats(self):
+        from repro.telemetry import Telemetry
+
+        sites = _sites(8, seed=3)
+        with StreamingEngine(EngineConfig(workers=2, batch=2)) as stream:
+            telemetry = Telemetry()
+            iterator = stream.stream_sites(sites, telemetry=telemetry)
+            next(iterator)
+            iterator.close()
+            # The chunks that completed before the abandon are folded
+            # into stream_stats and the telemetry session.
+            assert stream.stream_stats["stream.chunks"] >= 1
+            flat = telemetry.counters.flat()
+            assert flat["stream.chunks"] >= 1
+            assert flat["kernel.sites"] >= 1
+
     def test_empty_and_validation(self):
         with StreamingEngine(EngineConfig()) as stream:
             assert stream.run_sites([]) == []
@@ -378,6 +394,64 @@ class TestStreamingPipeline:
             sample.reference, use_accelerator=True, system_config=chaos
         ).run(sample.reads)
         assert self._canon(faulted.reads) == self._canon(clean.reads)
+
+    def test_buckets_exceeding_queue_capacity_do_not_deadlock(self):
+        """Regression: feeding all contig buckets from the main thread
+        used to deadlock once the buckets outnumbered the aggregate
+        queue capacity, because the sole consumer of the final queue
+        was itself stuck in ``put()``. The feeder is its own thread
+        now; a watchdog keeps a reintroduced deadlock from hanging CI.
+        """
+        import threading
+
+        from repro.refinement.pipeline import (
+            RefinementPipeline,
+            StreamingRefinementPipeline,
+        )
+
+        ref = ReferenceGenome.from_dict(
+            {f"c{i}": "ACGT" * 500 for i in range(6)}
+        )
+        reads = [
+            make_read(f"r{i}_{j}", f"c{i}", j * 400, seq="ACGT" * 10)
+            for i in range(6)
+            for j in range(4)
+        ]
+        want = self._canon(RefinementPipeline(ref).run(reads).reads)
+        pipeline = StreamingRefinementPipeline(
+            ref, queue_depth=1, region_gap=50
+        )
+        outcome = {}
+
+        def _run():
+            outcome["result"] = pipeline.run(reads)
+
+        runner = threading.Thread(target=_run, daemon=True)
+        runner.start()
+        runner.join(timeout=120)
+        assert not runner.is_alive(), (
+            "streaming pipeline deadlocked with more contig buckets "
+            "than aggregate queue capacity"
+        )
+        assert self._canon(outcome["result"].reads) == want
+        assert pipeline.stream_stats["pipeline.regions"] >= 9
+
+    def test_drain_failure_joins_stage_threads(self, sample, monkeypatch):
+        """A failure in the main-thread BQSR drain loop must not leak
+        blocked stage threads."""
+        import threading
+
+        import repro.refinement.pipeline as pipeline_module
+        from repro.refinement.pipeline import StreamingRefinementPipeline
+
+        def _boom(*args, **kwargs):
+            raise RuntimeError("drain boom")
+
+        monkeypatch.setattr(pipeline_module, "merge_columns", _boom)
+        with pytest.raises(RuntimeError, match="drain boom"):
+            StreamingRefinementPipeline(sample.reference).run(sample.reads)
+        assert not [t for t in threading.enumerate()
+                    if t.name.startswith("refine-")]
 
     def test_stage_errors_propagate(self, sample):
         from repro.refinement.pipeline import StreamingRefinementPipeline
