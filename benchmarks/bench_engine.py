@@ -74,7 +74,10 @@ def test_engine_batched_no_prefilter(benchmark):
 
 def test_engine_multiprocess_pool(benchmark):
     sites = _site_pool()
-    with Engine(EngineConfig(workers=POOL_WORKERS, batch=POOL_BATCH)) as eng:
+    # kernel pinned so the committed baseline keeps measuring the
+    # FFT-batched plane; kernel routing is benched in bench_kernels.py.
+    with Engine(EngineConfig(workers=POOL_WORKERS, batch=POOL_BATCH,
+                             kernel="fft")) as eng:
         eng.run_sites(sites[: POOL_BATCH * POOL_WORKERS])  # warm the pool
         results = benchmark(eng.run_sites, sites)
     for got, want in zip(results, _serial(sites)):

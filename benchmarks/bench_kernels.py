@@ -1,0 +1,195 @@
+"""Kernel-dispatch benchmarks: vector vs FFT vs bitpack vs auto.
+
+One pool per site regime runs through every dispatchable kernel (the
+scalar transcription baseline is excluded -- it is orders of magnitude
+off on these shapes and its asymptote is already pinned by the
+calibration fit in :mod:`repro.engine.autotune`):
+
+- ``mixed``       -- ``BENCH_PROFILE`` sites across the standard
+  complexity ladder: ragged read lengths and generous window slack,
+  the FFT kernel's home regime;
+- ``uniform250``  -- fixed 250 bp reads with ~4 bp of window slack:
+  only a handful of offsets are in range, so the FFT kernel wastes its
+  padded transform while the SWAR kernel screens exactly those
+  offsets. This is the Illumina-like fixed-read-length regime where
+  bitpack wins;
+- ``short64deep`` -- fixed 64 bp reads, deep pileup, tight window: the
+  same few-offsets structure at a smaller word count.
+
+``test_kernels_gate`` is the CI acceptance gate, asserting the two
+claims docs/PERFORMANCE.md makes about dispatch:
+
+1. on every regime, ``auto`` finishes within ``AUTO_TOLERANCE`` of the
+   best fixed kernel (the router must track the per-shape winner);
+2. on at least one fixed-read-length regime, ``bitpack`` strictly
+   beats ``fft`` (the regime the SWAR kernel was built for).
+
+Refresh the committed numbers with:
+
+    PYTHONPATH=src REPRO_BENCH_SITES=48 python -m pytest \
+        benchmarks/bench_kernels.py --benchmark-json=benchmarks/BENCH_kernels.json
+"""
+
+import gc
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine.autotune import dispatch_realign
+from repro.workloads.generator import (
+    BENCH_PROFILE,
+    SiteProfile,
+    synthesize_site,
+)
+
+from conftest import bench_sites
+
+#: Kernels the pools run through; ``auto`` is the calibrated router.
+BENCHED_KERNELS = ("vector", "fft", "bitpack", "auto")
+COMPLEXITIES = (0.5, 0.75, 1.0, 1.25, 1.5, 2.0)
+SCENARIOS = ("mixed", "uniform250", "short64deep")
+
+#: Auto-dispatch gate allowance: ``auto`` must finish within this
+#: factor of the best fixed kernel on every regime. The measured
+#: dispatch cost (feature extraction + profile lookup) is ~40 us per
+#: site, which is <5% on the ms-scale sites benched here; the rest of
+#: the margin absorbs shared-runner jitter, which on sub-100 ms pool
+#: runs routinely reaches 20%+ even under best-of-N sampling.
+GATE_RUNS = 3
+AUTO_TOLERANCE = 1.25
+
+#: Fixed-read-length regimes. ``read_tail_sigma=0`` pins every read to
+#: the profile length, and the small window slack leaves only a few
+#: valid offsets per pair -- the structure that favours the SWAR
+#: screen over a padded full-correlation FFT.
+UNIFORM250 = SiteProfile(
+    name="uniform250",
+    mean_consensuses=10.0,
+    mean_reads=128.0,
+    read_length_range=(250, 250),
+    window_slack_mean=4.0,
+    read_tail_sigma=0.0,
+)
+SHORT64DEEP = SiteProfile(
+    name="short64deep",
+    mean_consensuses=8.0,
+    mean_reads=160.0,
+    read_length_range=(64, 64),
+    window_slack_mean=3.0,
+    read_tail_sigma=0.0,
+)
+
+_pools = {}
+
+
+def _site_pool(scenario):
+    """Deterministic site pool for one regime (built once per run)."""
+    if scenario not in _pools:
+        rng = np.random.default_rng(2025)
+        n = bench_sites()
+        if scenario == "mixed":
+            sites = [
+                synthesize_site(rng, BENCH_PROFILE,
+                                complexity=COMPLEXITIES[i % len(COMPLEXITIES)])
+                for i in range(max(n // 2, 8))
+            ]
+        elif scenario == "uniform250":
+            sites = [synthesize_site(rng, UNIFORM250)
+                     for _ in range(max(n // 8, 6))]
+        elif scenario == "short64deep":
+            sites = [synthesize_site(rng, SHORT64DEEP)
+                     for _ in range(max(n // 8, 6))]
+        else:
+            raise ValueError(scenario)
+        _pools[scenario] = sites
+    return _pools[scenario]
+
+
+def _run(scenario, kernel):
+    return [dispatch_realign(site, kernel=kernel)
+            for site in _site_pool(scenario)]
+
+
+@pytest.mark.parametrize("kernel", BENCHED_KERNELS)
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_kernels(once, scenario, kernel):
+    _site_pool(scenario)  # build outside the measurement
+    results = once(_run, scenario, kernel)
+    assert len(results) == len(_site_pool(scenario))
+
+
+def _interleaved_best_of(runs, scenario, kernels):
+    """Best-of-``runs`` per kernel, measured round-robin.
+
+    Interleaving the kernels inside each round (rather than timing one
+    kernel's N runs back to back) spreads slow drift -- GC pressure
+    from earlier benchmarks, thermal throttling, a noisy co-tenant --
+    evenly across contenders, so a drift window cannot make one kernel
+    look structurally slower. Each run is preceded by a collection so
+    no kernel is billed for the previous one's garbage."""
+    best = {kernel: float("inf") for kernel in kernels}
+    for _ in range(runs):
+        for kernel in kernels:
+            gc.collect()
+            start = time.perf_counter()
+            _run(scenario, kernel)
+            best[kernel] = min(best[kernel],
+                               time.perf_counter() - start)
+    return best
+
+
+def test_kernels_gate():
+    """CI acceptance gate: auto tracks the per-regime winner, and the
+    SWAR kernel beats the FFT kernel on a fixed-read-length regime.
+
+    Timings are interleaved best-of-``GATE_RUNS`` (noise is one-sided)
+    with the documented ``AUTO_TOLERANCE`` on the auto comparison. The
+    gate is about *auto's routing*, so the ``REPRO_KERNEL`` override --
+    which would silently turn auto into a fixed kernel -- is cleared
+    for its duration."""
+    override = os.environ.pop("REPRO_KERNEL", None)
+    try:
+        times = {}
+        print()
+        for scenario in SCENARIOS:
+            sites = _site_pool(scenario)
+            # Pin exactness once (and warm every kernel) before timing.
+            want = _run(scenario, "vector")
+            for kernel in ("fft", "bitpack", "auto"):
+                for got, ref in zip(_run(scenario, kernel), want):
+                    assert got.same_outputs(ref), (scenario, kernel)
+
+            times[scenario] = _interleaved_best_of(
+                GATE_RUNS, scenario, BENCHED_KERNELS
+            )
+            fixed = {k: t for k, t in times[scenario].items() if k != "auto"}
+            winner = min(fixed, key=fixed.get)
+            row = "  ".join(f"{k} {times[scenario][k] * 1e3:7.1f} ms"
+                            for k in BENCHED_KERNELS)
+            print(f"  {scenario:<12} ({len(sites):2d} sites)  {row}  "
+                  f"best fixed: {winner}")
+
+            assert times[scenario]["auto"] <= fixed[winner] * AUTO_TOLERANCE, (
+                f"auto dispatch missed the {scenario} winner ({winner}): "
+                f"auto {times[scenario]['auto']:.3f}s vs "
+                f"{fixed[winner]:.3f}s * {AUTO_TOLERANCE}"
+            )
+
+        # The SWAR kernel's raison d'etre: on fixed-read-length sites
+        # with tiny window slack, screening only the in-range offsets
+        # beats a padded full correlation. One winning regime is the
+        # claim (docs/PERFORMANCE.md); requiring both to win every run
+        # would gate on scheduler noise at these ms scales.
+        ratios = {
+            s: times[s]["bitpack"] / times[s]["fft"]
+            for s in ("uniform250", "short64deep")
+        }
+        assert min(ratios.values()) < 1.0, (
+            "bitpack no longer beats fft on any fixed-read-length "
+            f"regime: bitpack/fft ratios {ratios}"
+        )
+    finally:
+        if override is not None:
+            os.environ["REPRO_KERNEL"] = override

@@ -35,6 +35,9 @@ from conftest import bench_sites
 POOL_WORKERS = 4
 POOL_BATCH = 4
 QUEUE_DEPTH = 1
+#: Kernel pinned so the committed baseline keeps measuring the
+#: FFT-batched plane; kernel routing is benched in bench_kernels.py.
+POOL_KERNEL = "fft"
 COMPLEXITIES = (0.5, 0.75, 1.0, 1.25, 1.5, 2.0)
 
 #: Throughput-gate tolerance: the streaming plane must finish within
@@ -70,7 +73,8 @@ def _consume_stream(engine, sites):
 
 def test_stream_barrier_pool(benchmark):
     sites = _site_pool()
-    with Engine(EngineConfig(workers=POOL_WORKERS, batch=POOL_BATCH)) as eng:
+    with Engine(EngineConfig(workers=POOL_WORKERS, batch=POOL_BATCH,
+                             kernel=POOL_KERNEL)) as eng:
         eng.run_sites(sites[: POOL_BATCH * POOL_WORKERS])  # warm the pool
         results = benchmark(eng.run_sites, sites)
     assert len(results) == len(sites)
@@ -79,7 +83,8 @@ def test_stream_barrier_pool(benchmark):
 def test_stream_streaming_pool(benchmark):
     sites = _site_pool()
     with StreamingEngine(
-        EngineConfig(workers=POOL_WORKERS, batch=POOL_BATCH),
+        EngineConfig(workers=POOL_WORKERS, batch=POOL_BATCH,
+                     kernel=POOL_KERNEL),
         queue_depth=QUEUE_DEPTH,
     ) as eng:
         eng.run_sites(sites[: POOL_BATCH * POOL_WORKERS])  # warm the pool
@@ -126,7 +131,8 @@ def test_stream_gate():
     timing allowance (``THROUGHPUT_TOLERANCE``) so a single noisy
     sample on a loaded shared runner cannot block unrelated PRs."""
     sites = _site_pool()
-    config = EngineConfig(workers=POOL_WORKERS, batch=POOL_BATCH)
+    config = EngineConfig(workers=POOL_WORKERS, batch=POOL_BATCH,
+                          kernel=POOL_KERNEL)
     with Engine(config) as barrier, StreamingEngine(
         config, queue_depth=QUEUE_DEPTH, use_shmem=False
     ) as stream:

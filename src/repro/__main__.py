@@ -195,13 +195,32 @@ def _make_engine(args: argparse.Namespace):
     from repro.engine import EngineConfig
 
     config = EngineConfig(workers=args.workers, batch=args.batch,
-                          prefilter=args.prefilter)
+                          prefilter=args.prefilter, kernel=args.kernel)
     if not args.stream:
         return config
     from repro.engine import StreamingEngine
 
     return StreamingEngine(config, queue_depth=args.queue_depth,
                            use_shmem=args.shmem)
+
+
+def _maybe_autotune(args: argparse.Namespace) -> None:
+    """``--autotune``: re-fit the kernel cost model and persist it.
+
+    Writes to ``REPRO_AUTOTUNE_PROFILE`` when set (the profile the run
+    will then load), otherwise to the committed default next to
+    ``repro/engine/autotune.py``.
+    """
+    if not getattr(args, "autotune", False):
+        return
+    import os
+
+    from repro.engine.autotune import DEFAULT_PROFILE_PATH, calibrate
+
+    path = os.environ.get("REPRO_AUTOTUNE_PROFILE") or DEFAULT_PROFILE_PATH
+    profile = calibrate()
+    profile.save(path)
+    print(f"autotune: calibrated {len(profile.kernels())} kernels -> {path}")
 
 
 def _cmd_realign(args: argparse.Namespace) -> int:
@@ -224,6 +243,7 @@ def _cmd_realign(args: argparse.Namespace) -> int:
     if args.queue_depth < 1:
         print("error: --queue-depth must be >= 1", file=sys.stderr)
         return 2
+    _maybe_autotune(args)
     engine = _make_engine(args)
     reference = read_reference(args.reference)
     reads = read_sam(args.sam)
@@ -266,6 +286,7 @@ def _cmd_realign(args: argparse.Namespace) -> int:
         updated, report = IndelRealigner(reference,
                                          engine=engine).realign(reads)
         print(f"engine: workers={args.workers} batch={args.batch} "
+              f"kernel={args.kernel} "
               f"prefilter={'on' if args.prefilter else 'off'}"
               + (f" stream(depth={args.queue_depth}, "
                  f"shmem={'on' if args.shmem else 'off'})"
@@ -304,6 +325,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.queue_depth < 1:
         print("error: --queue-depth must be >= 1", file=sys.stderr)
         return 2
+    _maybe_autotune(args)
     census = next(c for c in CHROMOSOME_CENSUS if c.name == "21")
     sites = chromosome_workload(
         census, args.sites / census.ir_targets, BENCH_PROFILE, seed=args.seed,
@@ -365,7 +387,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     engine_session = Telemetry(label="engine")
     with Engine(EngineConfig(workers=args.workers, batch=args.batch,
-                             prefilter=args.prefilter)) as engine:
+                             prefilter=args.prefilter,
+                             kernel=args.kernel)) as engine:
         engine.run_sites(sites, telemetry=engine_session)
     sessions.append(engine_session)
     if args.stream:
@@ -377,7 +400,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         stream_session = Telemetry(label="stream")
         with StreamingEngine(
             EngineConfig(workers=args.workers, batch=args.batch,
-                         prefilter=args.prefilter),
+                         prefilter=args.prefilter, kernel=args.kernel),
             queue_depth=args.queue_depth, use_shmem=args.shmem,
         ) as stream_engine:
             stream_engine.run_sites(sites, telemetry=stream_session)
@@ -542,6 +565,17 @@ def _add_engine_flags(subparser: argparse.ArgumentParser) -> None:
         "--no-shmem", dest="shmem", action="store_false",
         help="disable shared-memory arenas for --stream (pickle site "
              "payloads instead)",
+    )
+    subparser.add_argument(
+        "--kernel", choices=("auto", "scalar", "vector", "fft", "bitpack"),
+        default="auto",
+        help="WHD kernel: a fixed exact kernel, or 'auto' (default) for "
+             "the calibrated per-site choice (docs/PERFORMANCE.md)",
+    )
+    subparser.add_argument(
+        "--autotune", action="store_true",
+        help="re-time the kernels on this host and persist the cost "
+             "profile before running (see REPRO_AUTOTUNE_PROFILE)",
     )
 
 

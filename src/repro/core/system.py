@@ -40,7 +40,6 @@ from repro.realign.realigner import (
     apply_realignment,
 )
 from repro.realign.site import RealignmentSite, SiteLimits, PAPER_LIMITS
-from repro.realign.whd import realign_site
 from repro.resilience.health import ResilienceStats
 from repro.resilience.policy import ResilienceConfig
 
@@ -407,16 +406,28 @@ class AcceleratedRealigner:
         reference: ReferenceGenome,
         config: Optional[SystemConfig] = None,
         engine=None,
+        kernel: str = "auto",
     ):
         """``engine`` optionally names the software kernel that serves
         fallback sites (targets that exhaust hardware recovery): an
         :class:`repro.engine.EngineConfig` (its ``scoring`` is overridden
         by the system config's) or a live :class:`repro.engine.Engine`.
-        None (the default) keeps the per-site scalar fallback."""
+        None (the default) serves fallback sites per site through the
+        calibrated kernel dispatch
+        (:func:`repro.engine.autotune.dispatch_realign`); ``kernel``
+        pins that per-site choice. Every path is bit-identical to the
+        hardware's decisions by construction."""
+        from repro.engine.autotune import KERNEL_CHOICES
+
+        if kernel not in KERNEL_CHOICES:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; choose from {KERNEL_CHOICES}"
+            )
         self.reference = reference
         self.system = AcceleratedIRSystem(config)
         self._front_half = IndelRealigner(reference)
         self.engine = engine
+        self.kernel = kernel
         self._engine = None
 
     def _engine_instance(self):
@@ -456,7 +467,10 @@ class AcceleratedRealigner:
             # kernel -- bit-identical to the unit's by construction
             # (pinned by the hardware/software equivalence tests). With
             # an engine configured, all fallback sites run through one
-            # batched call instead of the per-site scalar kernel.
+            # batched call; otherwise each goes through the calibrated
+            # per-site kernel dispatch.
+            from repro.engine.autotune import dispatch_realign
+
             indices = sorted(fallback)
             engine = self._engine_instance()
             if engine is not None:
@@ -466,8 +480,9 @@ class AcceleratedRealigner:
                 fallback_results = dict(zip(indices, batched))
             else:
                 fallback_results = {
-                    i: realign_site(
-                        windows[i].site, scoring=self.system.config.scoring
+                    i: dispatch_realign(
+                        windows[i].site, kernel=self.kernel,
+                        scoring=self.system.config.scoring,
                     )
                     for i in indices
                 }

@@ -6,6 +6,11 @@ independent optimizations, each preserving byte-identical output:
 
 - :mod:`repro.engine.batch` -- whole-site ``(C, R, K)`` tensor
   evaluation via FFT match counting instead of per-pair loops;
+- :mod:`repro.engine.bitpack` -- GateKeeper-style bit-packed SWAR
+  kernel: 2-bit bases in uint64 lanes, 32 comparisons per word op;
+- :mod:`repro.engine.autotune` -- a measured per-kernel cost model
+  that routes every site to the cheapest exact kernel
+  (``--kernel auto``), calibrated and persisted to JSON;
 - :mod:`repro.engine.prefilter` -- GateKeeper-style count bounds that
   prune offsets, consensus rows, and cannot-beat-reference pairs;
 - :mod:`repro.engine.memo` -- an LRU over duplicate
@@ -21,12 +26,29 @@ See ``docs/ARCHITECTURE.md`` for the data flow and
 ``docs/PERFORMANCE.md`` for the cost model and measured speedups.
 """
 
+from repro.engine.autotune import (
+    KERNELS,
+    KERNEL_CHOICES,
+    CostProfile,
+    SiteFeatures,
+    calibrate,
+    choose_kernel,
+    dispatch_realign,
+    resolve_profile,
+)
 from repro.engine.batch import (
     PackedSite,
     fast_fft_length,
     min_whd_grid_batched,
     pair_lower_bounds,
     realign_site_batched,
+)
+from repro.engine.bitpack import (
+    PackedConsensus,
+    PackedRead,
+    min_whd_grid_bitpacked,
+    pack_bases,
+    realign_site_bitpacked,
 )
 from repro.engine.memo import PairMemo
 from repro.engine.parallel import Engine, EngineConfig, ShardStats
@@ -48,24 +70,36 @@ from repro.engine.prefilter import (
 
 __all__ = [
     "ChunkDescriptor",
+    "CostProfile",
     "Engine",
     "EngineConfig",
     "HAVE_SHARED_MEMORY",
+    "KERNELS",
+    "KERNEL_CHOICES",
+    "PackedConsensus",
+    "PackedRead",
     "PackedSite",
     "PairMemo",
     "PrefilterStats",
     "PREFILTER_TOLERANCE",
     "ReorderBuffer",
     "ShardStats",
+    "SiteFeatures",
     "StreamingEngine",
+    "calibrate",
+    "choose_kernel",
     "consensus_keep_mask",
+    "dispatch_realign",
     "fast_fft_length",
     "min_whd_grid_batched",
+    "min_whd_grid_bitpacked",
     "offset_candidates",
+    "pack_bases",
     "pack_chunk",
     "pair_bounds",
     "pair_lower_bounds",
     "pairs_cannot_beat_reference",
     "realign_site_batched",
+    "realign_site_bitpacked",
     "unpack_chunk",
 ]

@@ -10,8 +10,10 @@ are merged in submission order, which makes the output -- and therefore
 the final SAM -- byte-identical to the serial path regardless of worker
 count or completion order (pinned against ``tests/golden/``).
 
-Within a worker, each chunk runs the batched kernel
-(:func:`repro.engine.batch.realign_site_batched`) with its own
+Within a worker, each chunk's sites run through the calibrated kernel
+dispatch (:func:`repro.engine.autotune.dispatch_realign` -- per-site
+choice of the scalar/vector/FFT/bitpack exact kernels, or a fixed
+``EngineConfig.kernel``) with its own
 :class:`~repro.engine.memo.PairMemo` (when enabled), and accumulates
 telemetry counters locally; the parent folds counters into its own
 telemetry session after the merge and records one wall-clock span per
@@ -26,7 +28,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.engine.batch import realign_site_batched
+from repro.engine.autotune import (
+    KERNEL_CHOICES,
+    CostProfile,
+    dispatch_realign,
+    resolve_profile,
+)
 from repro.engine.memo import PairMemo
 from repro.realign.site import RealignmentSite
 from repro.realign.whd import SCORING_METHODS, SiteResult
@@ -42,7 +49,12 @@ class EngineConfig:
     work-stealing can balance uneven shards. ``memo_capacity=0``
     disables the pair memo, which also keeps consensus-row elimination
     active (see :mod:`repro.engine.memo` for why they exclude each
-    other).
+    other). ``kernel`` routes each site through
+    :func:`repro.engine.autotune.dispatch_realign`: a fixed kernel
+    name, or ``"auto"`` (default) for the calibrated per-site choice.
+    The pair memo is an FFT-path feature, so a nonzero
+    ``memo_capacity`` pins the kernel to ``"fft"`` regardless of this
+    setting.
 
     >>> EngineConfig(workers=2, batch=4).prefilter
     True
@@ -50,6 +62,10 @@ class EngineConfig:
     Traceback (most recent call last):
         ...
     ValueError: workers must be >= 1, got 0
+    >>> EngineConfig(kernel="simd")
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown kernel 'simd'; choose from ('auto', 'scalar', 'vector', 'fft', 'bitpack')
     """
 
     workers: int = 1
@@ -57,6 +73,7 @@ class EngineConfig:
     prefilter: bool = True
     scoring: str = "similarity"
     memo_capacity: int = 0
+    kernel: str = "auto"
 
     def __post_init__(self):
         if self.workers < 1:
@@ -68,6 +85,11 @@ class EngineConfig:
         if self.memo_capacity < 0:
             raise ValueError(
                 f"memo_capacity must be >= 0, got {self.memo_capacity}"
+            )
+        if self.kernel not in KERNEL_CHOICES:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; "
+                f"choose from {KERNEL_CHOICES}"
             )
 
 
@@ -102,17 +124,20 @@ class _CounterSink:
 
 
 #: Per-worker invariant state, set once by the pool initializer. The
-#: EngineConfig never varies between chunks of one run, so shipping it
-#: in every task payload (as the engine originally did) re-pickled the
-#: same bytes per chunk; the initializer sends it exactly once per
-#: worker process.
+#: EngineConfig (and the autotune cost profile it dispatches with)
+#: never varies between chunks of one run, so shipping it in every task
+#: payload (as the engine originally did) re-pickled the same bytes per
+#: chunk; the initializer sends it exactly once per worker process.
 _WORKER_CONFIG: Optional[EngineConfig] = None
+_WORKER_PROFILE: Optional[CostProfile] = None
 
 
-def _init_worker(config: EngineConfig) -> None:
-    """Pool initializer: install the run-invariant engine config."""
-    global _WORKER_CONFIG
+def _init_worker(config: EngineConfig,
+                 profile: Optional[CostProfile] = None) -> None:
+    """Pool initializer: install the run-invariant config + profile."""
+    global _WORKER_CONFIG, _WORKER_PROFILE
     _WORKER_CONFIG = config
+    _WORKER_PROFILE = profile
 
 
 def _run_chunk(payload) -> Tuple[int, List[SiteResult], float, float, Dict[str, int]]:
@@ -138,13 +163,18 @@ def _realign_chunk(
     start = time.perf_counter()
     sink = _CounterSink()
     memo = PairMemo(config.memo_capacity) if config.memo_capacity else None
+    # Memoized grid columns only exist on the FFT path; a configured
+    # memo therefore pins the kernel (documented on EngineConfig).
+    kernel = "fft" if memo is not None else config.kernel
     results = [
-        realign_site_batched(
+        dispatch_realign(
             site,
-            prefilter=config.prefilter,
+            kernel=kernel,
             scoring=config.scoring,
+            prefilter=config.prefilter,
             telemetry=sink,
             memo=memo,
+            profile=_WORKER_PROFILE,
         )
         for site in sites
     ]
@@ -228,10 +258,15 @@ class Engine:
                 ctx = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX platforms
                 ctx = multiprocessing.get_context()
+            # Resolve the autotune profile once, in the parent, so every
+            # worker dispatches with identical coefficients (and no
+            # worker re-reads the profile file per process).
+            profile = (resolve_profile()
+                       if self.config.kernel == "auto" else None)
             self._pool = ctx.Pool(
                 processes=self.config.workers,
                 initializer=_init_worker,
-                initargs=(self.config,),
+                initargs=(self.config, profile),
             )
         return self._pool
 

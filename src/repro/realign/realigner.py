@@ -10,6 +10,7 @@ in :mod:`repro.perf` and :mod:`repro.baselines`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -26,7 +27,7 @@ from repro.realign.targets import (
     TargetCreatorConfig,
     identify_targets,
 )
-from repro.realign.whd import SiteResult, realign_site
+from repro.realign.whd import SiteResult
 
 
 @dataclass(frozen=True)
@@ -84,10 +85,11 @@ class IndelRealigner:
         reference: ReferenceGenome,
         creator_config: Optional[TargetCreatorConfig] = None,
         limits: SiteLimits = PAPER_LIMITS,
-        vectorized: bool = True,
+        vectorized: Optional[bool] = None,
         consensus_strategy: str = "observed",
         scoring: str = "similarity",
         engine=None,
+        kernel: str = "auto",
     ):
         """``consensus_strategy`` selects how alternate haplotypes are
         built: ``"observed"`` (the GATK3/paper approach -- INDELs lifted
@@ -95,6 +97,12 @@ class IndelRealigner:
         de Bruijn assembly, :mod:`repro.realign.assembly`).
         ``scoring`` selects Algorithm 2's consensus-score semantics
         (see :func:`repro.realign.whd.score_and_select`).
+        ``kernel`` names the WHD kernel for the per-site path
+        (``auto``/``scalar``/``vector``/``fft``/``bitpack``; see
+        :func:`repro.engine.autotune.dispatch_realign`) -- every choice
+        is exact, so outputs are identical. ``vectorized`` is the
+        deprecated spelling of ``kernel="vector"``/``"scalar"``; it
+        still works but warns, and an explicit ``kernel`` wins.
         ``engine`` optionally routes the kernel through the batched
         execution engine (:mod:`repro.engine`): pass an
         :class:`repro.engine.EngineConfig` (its ``scoring`` is overridden
@@ -105,10 +113,26 @@ class IndelRealigner:
             raise ValueError(
                 f"unknown consensus strategy {consensus_strategy!r}"
             )
+        from repro.engine.autotune import KERNEL_CHOICES
+
+        if kernel not in KERNEL_CHOICES:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; choose from {KERNEL_CHOICES}"
+            )
+        if vectorized is not None:
+            warnings.warn(
+                "IndelRealigner(vectorized=...) is deprecated; use "
+                "kernel='vector' / kernel='scalar' instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if kernel == "auto":
+                kernel = "vector" if vectorized else "scalar"
         self.reference = reference
         self.creator_config = creator_config or TargetCreatorConfig(limits=limits)
         self.limits = limits
         self.vectorized = vectorized
+        self.kernel = kernel
         self.consensus_strategy = consensus_strategy
         self.scoring = scoring
         self.engine = engine
@@ -188,9 +212,11 @@ class IndelRealigner:
                 [window.site for window in windows], telemetry=telemetry
             )
         else:
+            from repro.engine.autotune import dispatch_realign
+
             results = [
-                realign_site(window.site, vectorized=self.vectorized,
-                             scoring=self.scoring, telemetry=telemetry)
+                dispatch_realign(window.site, kernel=self.kernel,
+                                 scoring=self.scoring, telemetry=telemetry)
                 for window in windows
             ]
         updates: Dict[str, Read] = {}

@@ -142,6 +142,11 @@ def min_whd_grid(
     Returns ``(min_whd, min_whd_idx)`` as int64 arrays of shape
     ``(num_consensuses, num_reads)``.
 
+    The ``vectorized`` flag predates the calibrated kernel dispatch
+    (:func:`repro.engine.autotune.dispatch_realign`) and is kept only
+    for compatibility: new call sites should route through dispatch
+    (``kernel="vector"`` / ``"scalar"`` reproduce the two settings).
+
     The Figure 4 site (3 consensuses x 2 reads; consensus 0 is the
     reference, consensus 1 carries the deletion both reads support):
 
@@ -293,6 +298,11 @@ def realign_site(site: RealignmentSite, vectorized: bool = True,
                  scoring: str = "similarity",
                  telemetry=None) -> SiteResult:
     """Run Algorithms 1 and 2 on one site.
+
+    ``vectorized`` is deprecated-but-working (see
+    :func:`min_whd_grid`); prefer
+    :func:`repro.engine.autotune.dispatch_realign`, which also knows
+    the FFT-batched and bit-packed kernels.
 
     ``telemetry`` optionally records ``kernel.*`` counters. They are
     defined on the algorithm's *semantics*, not its implementation --

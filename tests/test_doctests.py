@@ -15,6 +15,8 @@ import pytest
 DOCUMENTED_MODULES = [
     "repro.realign.whd",
     "repro.engine.batch",
+    "repro.engine.bitpack",
+    "repro.engine.autotune",
     "repro.engine.prefilter",
     "repro.engine.memo",
     "repro.engine.parallel",

@@ -166,6 +166,33 @@ class TestEngineMatchesGolden:
         updated, _report = realigner.realign(sample.reads)
         self._assert_matches(updated, golden, label)
 
+    @pytest.mark.parametrize("streaming", [False, True])
+    @pytest.mark.parametrize(
+        "kernel", ["auto", "scalar", "vector", "fft", "bitpack"]
+    )
+    def test_every_kernel_matches_golden_in_both_engines(
+        self, golden, sample, kernel, streaming
+    ):
+        """All four kernels (and auto) must land every read where the
+        golden does, through the barrier and streaming engines alike --
+        the dispatch layer is only allowed to change *when* results
+        arrive, never what they are."""
+        from repro.engine import EngineConfig, StreamingEngine
+        from repro.realign.realigner import IndelRealigner
+
+        config = EngineConfig(workers=2, batch=3, kernel=kernel)
+        engine = StreamingEngine(config) if streaming else config
+        realigner = IndelRealigner(sample.reference, engine=engine)
+        try:
+            updated, _report = realigner.realign(sample.reads)
+        finally:
+            if streaming:
+                engine.close()
+        self._assert_matches(
+            updated, golden,
+            f"{kernel}-{'stream' if streaming else 'barrier'}",
+        )
+
     def test_batched_kernel_reproduces_golden_grids(self):
         """min_whd_grid_batched(prefilter=False) must be cell-identical
         to the grids the scalar kernel wrote into the site golden."""
@@ -184,6 +211,27 @@ class TestEngineMatchesGolden:
             )
             assert mi.tolist() == want["min_whd_idx"], (
                 f"batched kernel min_whd_idx drifted from golden on site "
+                f"{want['site']}. {REGEN_HINT}"
+            )
+
+    def test_bitpack_kernel_reproduces_golden_grids(self):
+        """min_whd_grid_bitpacked must be cell-identical to the grids
+        the scalar kernel wrote into the site golden."""
+        from repro.engine import min_whd_grid_bitpacked
+        from repro.workloads.generator import BENCH_PROFILE, synthesize_site
+
+        golden = _load("site_results.json")
+        rng = np.random.default_rng(golden["seed"])
+        for want in golden["sites"]:
+            site = synthesize_site(rng, BENCH_PROFILE,
+                                   complexity=want["complexity"])
+            mw, mi = min_whd_grid_bitpacked(site)
+            assert mw.tolist() == want["min_whd"], (
+                f"bitpack kernel min_whd drifted from golden on site "
+                f"{want['site']}. {REGEN_HINT}"
+            )
+            assert mi.tolist() == want["min_whd_idx"], (
+                f"bitpack kernel min_whd_idx drifted from golden on site "
                 f"{want['site']}. {REGEN_HINT}"
             )
 

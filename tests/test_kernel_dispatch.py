@@ -1,0 +1,298 @@
+"""Cross-kernel exactness and calibrated-dispatch tests.
+
+Four exact kernels implement Algorithm 1 -- scalar, vectorized,
+FFT-batched, bit-packed SWAR -- and :mod:`repro.engine.autotune` routes
+sites between them. Two properties keep that sound:
+
+- **exactness**: every kernel produces cell-identical ``(min_whd,
+  min_idx)`` grids and identical ``SiteResult`` outputs on any site,
+  including degenerate shapes (read as long as the consensus, a single
+  read, no alternate consensuses, N bases, zero qualities);
+- **dispatch semantics**: ``auto`` consults the persisted cost profile,
+  the ``REPRO_KERNEL`` override applies to ``auto`` only, and an
+  explicitly requested kernel always runs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.autotune import (
+    KERNELS,
+    CostProfile,
+    SiteFeatures,
+    calibrate,
+    choose_kernel,
+    dispatch_realign,
+    resolve_profile,
+)
+from repro.engine.batch import min_whd_grid_batched
+from repro.engine.bitpack import min_whd_grid_bitpacked
+from repro.realign.site import RealignmentSite
+from repro.realign.whd import min_whd_grid, realign_site
+from repro.workloads.generator import BENCH_PROFILE, synthesize_site
+
+
+class Sink:
+    """Counter-only telemetry stand-in."""
+
+    def __init__(self):
+        self.counters = {}
+
+    def count(self, name, delta=1):
+        self.counters[name] = self.counters.get(name, 0) + int(delta)
+
+
+def ragged_site(draw):
+    """Adversarial site shapes for kernel parity.
+
+    Reads may equal a consensus length exactly (n == m leaves one
+    offset), sites may have a single read or no alternates, bases
+    include ``N`` (matches only itself in every kernel), and qualities
+    include 0.
+    """
+    num_reads = draw(st.integers(1, 5))
+    read_lens = [draw(st.integers(1, 12)) for _ in range(num_reads)]
+    longest = max(read_lens)
+    num_cons = draw(st.integers(1, 4))
+    cons = tuple(
+        draw(st.text(alphabet="ACGTN", min_size=m, max_size=m))
+        for m in (
+            draw(st.integers(longest, longest + 24))
+            for _ in range(num_cons)
+        )
+    )
+    reads = tuple(
+        draw(st.text(alphabet="ACGTN", min_size=n, max_size=n))
+        for n in read_lens
+    )
+    quals = tuple(
+        np.array(
+            draw(st.lists(st.integers(0, 93), min_size=n, max_size=n)),
+            dtype=np.uint8,
+        )
+        for n in read_lens
+    )
+    return RealignmentSite(chrom="c", start=draw(st.integers(0, 10_000)),
+                           consensuses=cons, reads=reads, quals=quals)
+
+
+def degenerate_sites():
+    """The ISSUE's named degenerate shapes, plus word-boundary lengths."""
+    rng = np.random.default_rng(99)
+    letters = np.array(list("ACGT"))
+    long_cons = "".join(rng.choice(letters, size=70))
+    boundary_reads = tuple(
+        "".join(rng.choice(letters, size=n)) for n in (31, 32, 33, 64, 65)
+    )
+    return [
+        # n == m: exactly one offset per pair
+        RealignmentSite("c", 0, ("ACGTACGT", "TGCATGCA"),
+                        ("ACGTACGT",), ([7] * 8,)),
+        # single read
+        RealignmentSite("c", 5, ("ACGTACGTAAGG", "ACGGACGTAAGG"),
+                        ("GTAC",), ([3, 0, 9, 1],)),
+        # empty alternates: only the reference consensus
+        RealignmentSite("c", 0, ("ACGTACGTACGT",),
+                        ("CGTA", "TACG"), ([5] * 4, [6] * 4)),
+        # reads straddling the 32-base packed-word boundary
+        RealignmentSite(
+            "c", 0, (long_cons, long_cons[1:] + "A"), boundary_reads,
+            tuple([int(q) for q in rng.integers(0, 94, size=len(r))]
+                  for r in boundary_reads),
+        ),
+    ]
+
+
+def assert_all_kernels_agree(site):
+    ref_w, ref_i = min_whd_grid(site, vectorized=False)
+    for label, (mw, mi) in {
+        "vector": min_whd_grid(site, vectorized=True),
+        "fft": min_whd_grid_batched(site, prefilter=False),
+        "bitpack": min_whd_grid_bitpacked(site),
+    }.items():
+        np.testing.assert_array_equal(mw, ref_w, err_msg=f"{label} min_whd")
+        np.testing.assert_array_equal(mi, ref_i, err_msg=f"{label} min_idx")
+
+
+class TestCrossKernelExactness:
+    @given(st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_grids_cell_identical(self, data):
+        assert_all_kernels_agree(ragged_site(data.draw))
+
+    @given(st.data(), st.sampled_from(["similarity", "absdiff"]))
+    @settings(max_examples=40, deadline=None)
+    def test_site_results_same_outputs(self, data, scoring):
+        site = ragged_site(data.draw)
+        want = realign_site(site, scoring=scoring)
+        for kernel in KERNELS:
+            got = dispatch_realign(site, kernel=kernel, scoring=scoring)
+            assert got.same_outputs(want), kernel
+
+    @pytest.mark.parametrize("index", range(len(degenerate_sites())))
+    def test_degenerate_shapes(self, index):
+        site = degenerate_sites()[index]
+        assert_all_kernels_agree(site)
+        want = realign_site(site)
+        for kernel in KERNELS:
+            assert dispatch_realign(site, kernel=kernel).same_outputs(want)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_synthesized_sites(self, seed):
+        site = synthesize_site(np.random.default_rng(seed), BENCH_PROFILE,
+                               complexity=0.5)
+        want = realign_site(site)
+        for kernel in ("vector", "fft", "bitpack", "auto"):
+            assert dispatch_realign(site, kernel=kernel).same_outputs(want)
+
+
+class TestDispatchSemantics:
+    def site(self):
+        return synthesize_site(np.random.default_rng(0), BENCH_PROFILE)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            dispatch_realign(self.site(), kernel="simd")
+
+    def test_auto_emits_choice_and_misprediction_counters(self, monkeypatch):
+        # The CI job that forces REPRO_KERNEL must not defeat the
+        # profile-consulting path this test is about.
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        sink = Sink()
+        dispatch_realign(self.site(), kernel="auto", telemetry=sink)
+        chosen = [k for k in sink.counters if k.startswith("kernel.chosen.")]
+        assert len(chosen) == 1
+        assert chosen[0].split(".")[-1] in KERNELS
+        assert "kernel.predicted_vs_actual" in sink.counters
+
+    def test_fixed_kernel_emits_choice_but_no_prediction(self):
+        sink = Sink()
+        dispatch_realign(self.site(), kernel="bitpack", telemetry=sink)
+        assert sink.counters.get("kernel.chosen.bitpack") == 1
+        assert "kernel.predicted_vs_actual" not in sink.counters
+
+    def test_env_override_applies_to_auto_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "scalar")
+        site = self.site()
+        sink = Sink()
+        dispatch_realign(site, kernel="auto", telemetry=sink)
+        assert sink.counters.get("kernel.chosen.scalar") == 1
+        sink = Sink()
+        dispatch_realign(site, kernel="bitpack", telemetry=sink)
+        assert sink.counters.get("kernel.chosen.bitpack") == 1
+
+    def test_env_override_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "warp")
+        with pytest.raises(ValueError, match="REPRO_KERNEL"):
+            dispatch_realign(self.site(), kernel="auto")
+
+    def test_choose_kernel_is_deterministic(self):
+        profile = resolve_profile()
+        site = self.site()
+        picks = {choose_kernel(site, profile) for _ in range(5)}
+        assert len(picks) == 1
+        assert picks.pop() in KERNELS
+
+
+class TestCostProfile:
+    def test_committed_profile_loads_and_covers_all_kernels(self):
+        profile = resolve_profile()
+        assert set(profile.kernels()) == set(KERNELS)
+        f = SiteFeatures.from_site(
+            synthesize_site(np.random.default_rng(1), BENCH_PROFILE)
+        )
+        for kernel in KERNELS:
+            assert profile.predict(kernel, f) >= 0.0
+
+    def test_json_round_trip(self):
+        profile = resolve_profile()
+        clone = CostProfile.from_json(profile.to_json())
+        assert clone.coefficients == profile.coefficients
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            CostProfile.from_json('{"version": 9, "kernels": {}}')
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            CostProfile.from_json(
+                '{"version": 1, "kernels": {"warp": [1.0]}}'
+            )
+
+    def test_calibrate_smoke(self):
+        """A tiny calibration run yields nonnegative, usable coefficients."""
+        rng = np.random.default_rng(7)
+        sites = [synthesize_site(rng, BENCH_PROFILE, complexity=c)
+                 for c in (0.1, 0.3, 0.6)]
+        profile = calibrate(sites=sites, repeats=1)
+        assert set(profile.kernels()) == set(KERNELS)
+        for coef in profile.coefficients.values():
+            assert all(c >= 0.0 for c in coef)
+        f = SiteFeatures.from_site(sites[0])
+        assert profile.choose(f) in KERNELS
+
+
+class TestEngineKernelWiring:
+    def sites(self):
+        rng = np.random.default_rng(3)
+        return [synthesize_site(rng, BENCH_PROFILE, complexity=0.4)
+                for _ in range(6)]
+
+    @pytest.mark.parametrize("kernel", ["auto", "vector", "fft", "bitpack"])
+    def test_engine_results_identical_across_kernels(self, kernel):
+        from repro.engine import Engine, EngineConfig
+
+        sites = self.sites()
+        want = [realign_site(site) for site in sites]
+        got = Engine(EngineConfig(kernel=kernel, batch=2)).run_sites(sites)
+        assert all(g.same_outputs(w) for g, w in zip(got, want))
+
+    def test_memo_pins_the_fft_kernel(self):
+        from repro.engine import Engine, EngineConfig
+        from repro.telemetry import Telemetry
+
+        sites = self.sites()
+        session = Telemetry(label="memo-pin")
+        config = EngineConfig(kernel="vector", memo_capacity=64, batch=3)
+        got = Engine(config).run_sites(sites, telemetry=session)
+        flat = session.counters.flat()
+        assert flat.get("kernel.chosen.fft") == len(sites)
+        assert "kernel.chosen.vector" not in flat
+        want = [realign_site(site) for site in sites]
+        assert all(g.same_outputs(w) for g, w in zip(got, want))
+
+    def test_streaming_engine_honours_kernel(self):
+        from repro.engine import EngineConfig, StreamingEngine
+        from repro.telemetry import Telemetry
+
+        sites = self.sites()
+        session = Telemetry(label="stream-kernel")
+        engine = StreamingEngine(EngineConfig(kernel="bitpack", batch=2))
+        got = engine.run_sites(sites, telemetry=session)
+        assert (session.counters.flat().get("kernel.chosen.bitpack")
+                == len(sites))
+        want = [realign_site(site) for site in sites]
+        assert all(g.same_outputs(w) for g, w in zip(got, want))
+
+
+class TestDeprecatedVectorizedFlag:
+    def test_warns_and_maps_to_fixed_kernels(self):
+        from repro.realign.realigner import IndelRealigner
+
+        with pytest.warns(DeprecationWarning, match="vectorized"):
+            realigner = IndelRealigner(None, vectorized=True)
+        assert realigner.kernel == "vector"
+        with pytest.warns(DeprecationWarning, match="vectorized"):
+            realigner = IndelRealigner(None, vectorized=False)
+        assert realigner.kernel == "scalar"
+
+    def test_explicit_kernel_wins_over_flag(self):
+        from repro.realign.realigner import IndelRealigner
+
+        with pytest.warns(DeprecationWarning):
+            realigner = IndelRealigner(None, vectorized=False,
+                                       kernel="bitpack")
+        assert realigner.kernel == "bitpack"
