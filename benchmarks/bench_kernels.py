@@ -24,6 +24,11 @@ claims docs/PERFORMANCE.md makes about dispatch:
 2. on at least one fixed-read-length regime, ``bitpack`` strictly
    beats ``fft`` (the regime the SWAR kernel was built for).
 
+A failing check does not block immediately: the gate re-measures at
+escalating best-of counts (``GATE_ROUNDS``) and merges per-kernel
+bests, so only a slowdown that persists across every round -- a real
+regression, not a noisy co-tenant -- fails CI.
+
 Refresh the committed numbers with:
 
     PYTHONPATH=src REPRO_BENCH_SITES=48 python -m pytest \
@@ -57,8 +62,15 @@ SCENARIOS = ("mixed", "uniform250", "short64deep")
 #: site, which is <5% on the ms-scale sites benched here; the rest of
 #: the margin absorbs shared-runner jitter, which on sub-100 ms pool
 #: runs routinely reaches 20%+ even under best-of-N sampling.
-GATE_RUNS = 3
 AUTO_TOLERANCE = 1.25
+
+#: Measurement escalation ladder: best-of counts per gate round. The
+#: first round is cheap; if any gate check fails on its numbers, the
+#: gate re-measures at the next rung and merges per-kernel bests before
+#: asserting. A transient co-tenant spike on a shared runner therefore
+#: cannot fail CI on its own -- only a slowdown that persists across
+#: every round (a real regression) blocks the PR.
+GATE_ROUNDS = (3, 6, 9)
 
 #: Fixed-read-length regimes. ``read_tail_sigma=0`` pins every read to
 #: the profile length, and the small window slack leaves only a few
@@ -140,56 +152,89 @@ def _interleaved_best_of(runs, scenario, kernels):
     return best
 
 
+def _gate_failures(times):
+    """Evaluate both gate claims on merged bests; return messages.
+
+    1. ``auto`` within ``AUTO_TOLERANCE`` of the best fixed kernel on
+       every regime (the router tracks the per-shape winner).
+    2. ``bitpack`` strictly beats ``fft`` on at least one
+       fixed-read-length regime -- the SWAR kernel's raison d'etre: on
+       fixed-read-length sites with tiny window slack, screening only
+       the in-range offsets beats a padded full correlation. One
+       winning regime is the claim (docs/PERFORMANCE.md); requiring
+       both to win every run would gate on scheduler noise at these ms
+       scales.
+    """
+    failures = []
+    for scenario in SCENARIOS:
+        fixed = {k: t for k, t in times[scenario].items() if k != "auto"}
+        winner = min(fixed, key=fixed.get)
+        if times[scenario]["auto"] > fixed[winner] * AUTO_TOLERANCE:
+            failures.append(
+                f"auto dispatch missed the {scenario} winner ({winner}): "
+                f"auto {times[scenario]['auto']:.3f}s vs "
+                f"{fixed[winner]:.3f}s * {AUTO_TOLERANCE}"
+            )
+    ratios = {
+        s: times[s]["bitpack"] / times[s]["fft"]
+        for s in ("uniform250", "short64deep")
+    }
+    if min(ratios.values()) >= 1.0:
+        failures.append(
+            "bitpack no longer beats fft on any fixed-read-length "
+            f"regime: bitpack/fft ratios {ratios}"
+        )
+    return failures
+
+
 def test_kernels_gate():
     """CI acceptance gate: auto tracks the per-regime winner, and the
     SWAR kernel beats the FFT kernel on a fixed-read-length regime.
 
-    Timings are interleaved best-of-``GATE_RUNS`` (noise is one-sided)
-    with the documented ``AUTO_TOLERANCE`` on the auto comparison. The
-    gate is about *auto's routing*, so the ``REPRO_KERNEL`` override --
-    which would silently turn auto into a fixed kernel -- is cleared
-    for its duration."""
+    Timings are interleaved best-of-N (noise is one-sided) with the
+    documented ``AUTO_TOLERANCE`` on the auto comparison, escalating
+    through ``GATE_ROUNDS`` on failure so shared-runner interference
+    has to persist across every round to block a PR. The gate is about
+    *auto's routing*, so the ``REPRO_KERNEL`` override -- which would
+    silently turn auto into a fixed kernel -- is cleared for its
+    duration."""
     override = os.environ.pop("REPRO_KERNEL", None)
     try:
-        times = {}
-        print()
+        # Pin exactness once (and warm every kernel) before timing.
         for scenario in SCENARIOS:
-            sites = _site_pool(scenario)
-            # Pin exactness once (and warm every kernel) before timing.
             want = _run(scenario, "vector")
             for kernel in ("fft", "bitpack", "auto"):
                 for got, ref in zip(_run(scenario, kernel), want):
                     assert got.same_outputs(ref), (scenario, kernel)
 
-            times[scenario] = _interleaved_best_of(
-                GATE_RUNS, scenario, BENCHED_KERNELS
-            )
-            fixed = {k: t for k, t in times[scenario].items() if k != "auto"}
-            winner = min(fixed, key=fixed.get)
-            row = "  ".join(f"{k} {times[scenario][k] * 1e3:7.1f} ms"
-                            for k in BENCHED_KERNELS)
-            print(f"  {scenario:<12} ({len(sites):2d} sites)  {row}  "
-                  f"best fixed: {winner}")
-
-            assert times[scenario]["auto"] <= fixed[winner] * AUTO_TOLERANCE, (
-                f"auto dispatch missed the {scenario} winner ({winner}): "
-                f"auto {times[scenario]['auto']:.3f}s vs "
-                f"{fixed[winner]:.3f}s * {AUTO_TOLERANCE}"
-            )
-
-        # The SWAR kernel's raison d'etre: on fixed-read-length sites
-        # with tiny window slack, screening only the in-range offsets
-        # beats a padded full correlation. One winning regime is the
-        # claim (docs/PERFORMANCE.md); requiring both to win every run
-        # would gate on scheduler noise at these ms scales.
-        ratios = {
-            s: times[s]["bitpack"] / times[s]["fft"]
-            for s in ("uniform250", "short64deep")
-        }
-        assert min(ratios.values()) < 1.0, (
-            "bitpack no longer beats fft on any fixed-read-length "
-            f"regime: bitpack/fft ratios {ratios}"
-        )
+        times = {s: {k: float("inf") for k in BENCHED_KERNELS}
+                 for s in SCENARIOS}
+        failures = []
+        print()
+        for round_no, runs in enumerate(GATE_ROUNDS, start=1):
+            for scenario in SCENARIOS:
+                round_best = _interleaved_best_of(
+                    runs, scenario, BENCHED_KERNELS
+                )
+                for kernel, elapsed in round_best.items():
+                    times[scenario][kernel] = min(
+                        times[scenario][kernel], elapsed
+                    )
+                fixed = {k: t for k, t in times[scenario].items()
+                         if k != "auto"}
+                row = "  ".join(f"{k} {times[scenario][k] * 1e3:7.1f} ms"
+                                for k in BENCHED_KERNELS)
+                print(f"  {scenario:<12} ({len(_site_pool(scenario)):2d} "
+                      f"sites)  {row}  best fixed: "
+                      f"{min(fixed, key=fixed.get)}")
+            failures = _gate_failures(times)
+            if not failures:
+                break
+            if round_no < len(GATE_ROUNDS):
+                print(f"  gate round {round_no} (best-of-{runs}) failed "
+                      f"{len(failures)} check(s); escalating to "
+                      f"best-of-{GATE_ROUNDS[round_no]}")
+        assert not failures, "\n".join(failures)
     finally:
         if override is not None:
             os.environ["REPRO_KERNEL"] = override

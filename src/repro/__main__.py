@@ -209,17 +209,22 @@ def _maybe_autotune(args: argparse.Namespace) -> None:
 
     Writes to ``REPRO_AUTOTUNE_PROFILE`` when set (the profile the run
     will then load), otherwise to the committed default next to
-    ``repro/engine/autotune.py``.
+    ``repro/engine/autotune.py`` when that directory is writable, else
+    to the per-user cache (non-editable installs have a read-only
+    ``site-packages``). The chosen path is exported back through
+    ``REPRO_AUTOTUNE_PROFILE`` so this run -- including any worker
+    processes it spawns -- dispatches on the fresh fit.
     """
     if not getattr(args, "autotune", False):
         return
     import os
 
-    from repro.engine.autotune import DEFAULT_PROFILE_PATH, calibrate
+    from repro.engine.autotune import calibrate, writable_profile_path
 
-    path = os.environ.get("REPRO_AUTOTUNE_PROFILE") or DEFAULT_PROFILE_PATH
+    path = os.environ.get("REPRO_AUTOTUNE_PROFILE") or writable_profile_path()
     profile = calibrate()
     profile.save(path)
+    os.environ["REPRO_AUTOTUNE_PROFILE"] = str(path)
     print(f"autotune: calibrated {len(profile.kernels())} kernels -> {path}")
 
 

@@ -74,6 +74,38 @@ _ENV_KERNEL = "REPRO_KERNEL"
 _ENV_PROFILE = "REPRO_AUTOTUNE_PROFILE"
 
 
+def user_profile_path() -> Path:
+    """Per-user calibration location: ``$XDG_CACHE_HOME`` (or
+    ``~/.cache``) ``/repro/autotune_profile.json``. Consulted by
+    :func:`resolve_profile` after the env override and before the
+    committed default, so a local ``--autotune`` survives even when the
+    installed package directory is read-only."""
+    cache = os.environ.get("XDG_CACHE_HOME")
+    base = Path(cache) if cache else Path.home() / ".cache"
+    return base / "repro" / "autotune_profile.json"
+
+
+def writable_profile_path() -> Path:
+    """Where ``--autotune`` should persist its fit.
+
+    The committed default next to this module when that directory is
+    writable (editable installs, source checkouts); otherwise the user
+    cache path -- non-editable installs put the package in a read-only
+    ``site-packages``, and calibration must not die on PermissionError
+    there. Creates the user cache directory on the fallback path.
+    """
+    parent = DEFAULT_PROFILE_PATH.parent
+    default_writable = os.access(parent, os.W_OK) and (
+        not DEFAULT_PROFILE_PATH.exists()
+        or os.access(DEFAULT_PROFILE_PATH, os.W_OK)
+    )
+    if default_writable:
+        return DEFAULT_PROFILE_PATH
+    path = user_profile_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
+
+
 @dataclass(frozen=True)
 class SiteFeatures:
     """The structural site dimensions the cost model is defined over.
@@ -276,11 +308,15 @@ _cached_default: Optional[CostProfile] = None
 
 
 def resolve_profile(path=None) -> CostProfile:
-    """Load the active profile: explicit path > env > committed > builtin.
+    """Load the active profile:
+    explicit path > env > user cache > committed > builtin.
 
-    The committed default is cached process-wide (dispatch consults it
-    per site); explicit/env paths are re-read on every call so a
-    just-written ``--autotune`` profile takes effect immediately.
+    The user-cache / committed lookup is cached process-wide (dispatch
+    consults it per site); explicit/env paths are re-read on every call
+    so a just-written ``--autotune`` profile takes effect immediately
+    (``--autotune`` also exports its output path via
+    ``REPRO_AUTOTUNE_PROFILE``, which keeps worker processes and this
+    cache coherent within a run).
     """
     global _cached_default
     if path is not None:
@@ -289,7 +325,10 @@ def resolve_profile(path=None) -> CostProfile:
     if env:
         return CostProfile.load(env)
     if _cached_default is None:
-        if DEFAULT_PROFILE_PATH.exists():
+        user_path = user_profile_path()
+        if user_path.exists():
+            _cached_default = CostProfile.load(user_path)
+        elif DEFAULT_PROFILE_PATH.exists():
             _cached_default = CostProfile.load(DEFAULT_PROFILE_PATH)
         else:  # pragma: no cover - only during initial calibration
             _cached_default = _BUILTIN
@@ -488,4 +527,6 @@ __all__ = [
     "choose_kernel",
     "dispatch_realign",
     "resolve_profile",
+    "user_profile_path",
+    "writable_profile_path",
 ]

@@ -80,18 +80,32 @@ _LANE_SHIFTS = (2 * np.arange(BASES_PER_WORD, dtype=np.uint64)).astype(np.uint64
 #: (Phred caps at 93 in practice; the planes cost nothing when empty).
 QUALITY_PLANES = 8
 
+#: Byte -> popcount LUT for the numpy<2.0 fallback. Defined
+#: unconditionally so the fallback stays unit-testable on numpy>=2.0
+#: hosts (``tests/test_kernel_dispatch.py::TestPopcountFallback``).
+_POP8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
+
+
+def _popcount_rows_lut(words: np.ndarray) -> np.ndarray:
+    """LUT popcount over the last axis of a ``(..., W)`` uint64 array.
+
+    Viewing ``uint64`` words as bytes widens only the *last* axis (by
+    8x), so summing over ``axis=-1`` preserves every leading dimension.
+    That matters: the screening passes call this on both ``(K, W)``
+    pair masks and the grouped ``(C, K, G, Wr)`` mask tensor, and
+    collapsing the leading dims would silently misshape the counts the
+    minima reductions run over.
+    """
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    return _POP8[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
 if hasattr(np, "bitwise_count"):  # numpy >= 2.0
     def _popcount_rows(words: np.ndarray) -> np.ndarray:
         """Per-row population count of a ``(..., W)`` uint64 array."""
         return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
-else:  # pragma: no cover - exercised only on numpy < 2.0
-    _POP8 = np.array([bin(v).count("1") for v in range(256)], dtype=np.uint8)
-
-    def _popcount_rows(words: np.ndarray) -> np.ndarray:
-        as_bytes = np.ascontiguousarray(words).view(np.uint8)
-        return _POP8[as_bytes].reshape(words.shape[0], -1).sum(
-            axis=-1, dtype=np.int64
-        )
+else:  # pragma: no cover - binding taken only on numpy < 2.0
+    _popcount_rows = _popcount_rows_lut
 
 
 def _pack_even_bits(flags: np.ndarray) -> np.ndarray:

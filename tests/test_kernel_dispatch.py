@@ -13,6 +13,9 @@ sites between them. Two properties keep that sound:
   explicitly requested kernel always runs.
 """
 
+import os
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -31,7 +34,11 @@ from repro.engine.batch import min_whd_grid_batched
 from repro.engine.bitpack import min_whd_grid_bitpacked
 from repro.realign.site import RealignmentSite
 from repro.realign.whd import min_whd_grid, realign_site
-from repro.workloads.generator import BENCH_PROFILE, synthesize_site
+from repro.workloads.generator import (
+    BENCH_PROFILE,
+    SiteProfile,
+    synthesize_site,
+)
 
 
 class Sink:
@@ -296,3 +303,131 @@ class TestDeprecatedVectorizedFlag:
             realigner = IndelRealigner(None, vectorized=False,
                                        kernel="bitpack")
         assert realigner.kernel == "bitpack"
+
+
+class TestPopcountFallback:
+    """The numpy<2.0 byte-LUT popcount must preserve leading dims.
+
+    The screening passes call ``_popcount_rows`` on both ``(K, W)``
+    pair masks and the grouped ``(C, K, G, Wr)`` tensor. An earlier
+    fallback reshaped to ``(shape[0], -1)``, flattening the 4-D tensor
+    to ``(C,)`` and crashing the default (auto-dispatched) realign path
+    on numpy 1.x, so these run the LUT path explicitly on numpy>=2.0
+    hosts too.
+    """
+
+    @pytest.mark.parametrize(
+        "shape", [(2,), (5, 2), (4, 1), (3, 4, 6, 2), (2, 1, 3, 1)]
+    )
+    def test_lut_matches_bit_counting_on_any_rank(self, shape):
+        from repro.engine import bitpack
+
+        rng = np.random.default_rng(42)
+        words = rng.integers(0, np.iinfo(np.uint64).max, size=shape,
+                             dtype=np.uint64, endpoint=True)
+        got = bitpack._popcount_rows_lut(words)
+        want = np.array(
+            [sum(bin(int(w)).count("1") for w in row)
+             for row in words.reshape(-1, shape[-1])],
+            dtype=np.int64,
+        ).reshape(shape[:-1])
+        assert np.shape(got) == shape[:-1]
+        np.testing.assert_array_equal(got, want)
+
+    def test_lut_handles_noncontiguous_input(self):
+        from repro.engine import bitpack
+
+        words = np.random.default_rng(7).integers(
+            0, 1 << 63, size=(6, 4), dtype=np.uint64
+        )
+        view = words.T  # non-contiguous: exercises ascontiguousarray
+        np.testing.assert_array_equal(
+            bitpack._popcount_rows_lut(view),
+            bitpack._popcount_rows_lut(np.ascontiguousarray(view)),
+        )
+
+    def test_full_kernel_exact_with_fallback_forced(self, monkeypatch):
+        from repro.engine import bitpack
+        from repro.experiments.figure4 import build_site
+
+        monkeypatch.setattr(bitpack, "_popcount_rows",
+                            bitpack._popcount_rows_lut)
+        assert_all_kernels_agree(build_site())
+        for site in degenerate_sites():
+            assert_all_kernels_agree(site)
+        # Grouped uniform-length sites drive the 4-D (C, K, G, Wr)
+        # screening tensor -- the shape the old fallback flattened.
+        uniform = SiteProfile(
+            name="uniform", mean_consensuses=4.0, mean_reads=48.0,
+            read_length_range=(40, 40), window_slack_mean=4.0,
+            read_tail_sigma=0.0,
+        )
+        for seed in (5, 6):
+            site = synthesize_site(np.random.default_rng(seed), uniform)
+            want = realign_site(site)
+            got = dispatch_realign(site, kernel="bitpack")
+            assert got.same_outputs(want)
+
+
+class TestProfilePersistencePaths:
+    """``--autotune`` must not require a writable package directory."""
+
+    def test_writable_path_prefers_committed_default(self):
+        from repro.engine import autotune
+
+        # The source checkout is writable, so the committed file wins.
+        assert (autotune.writable_profile_path()
+                == autotune.DEFAULT_PROFILE_PATH)
+
+    def test_writable_path_falls_back_to_user_cache(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.engine import autotune
+
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        real_access = os.access
+
+        def deny_package_dir(path, mode):
+            if Path(path) == autotune.DEFAULT_PROFILE_PATH.parent:
+                return False  # simulate read-only site-packages
+            return real_access(path, mode)
+
+        monkeypatch.setattr(autotune.os, "access", deny_package_dir)
+        path = autotune.writable_profile_path()
+        assert path == tmp_path / "repro" / "autotune_profile.json"
+        assert path.parent.is_dir()  # created, ready for save()
+
+    def test_resolve_profile_prefers_user_cache(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.engine import autotune
+
+        monkeypatch.delenv("REPRO_AUTOTUNE_PROFILE", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        cache = tmp_path / "repro" / "autotune_profile.json"
+        cache.parent.mkdir(parents=True)
+        base = CostProfile.load(autotune.DEFAULT_PROFILE_PATH)
+        CostProfile(
+            coefficients=base.coefficients,
+            meta={"source": "user-cache-test"},
+        ).save(cache)
+        monkeypatch.setattr(autotune, "_cached_default", None)
+        assert resolve_profile().meta.get("source") == "user-cache-test"
+
+    def test_resolve_profile_env_beats_user_cache(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.engine import autotune
+
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        cache = tmp_path / "repro" / "autotune_profile.json"
+        cache.parent.mkdir(parents=True)
+        base = CostProfile.load(autotune.DEFAULT_PROFILE_PATH)
+        CostProfile(coefficients=base.coefficients,
+                    meta={"source": "cache"}).save(cache)
+        env_path = tmp_path / "env_profile.json"
+        CostProfile(coefficients=base.coefficients,
+                    meta={"source": "env"}).save(env_path)
+        monkeypatch.setenv("REPRO_AUTOTUNE_PROFILE", str(env_path))
+        monkeypatch.setattr(autotune, "_cached_default", None)
+        assert resolve_profile().meta.get("source") == "env"
