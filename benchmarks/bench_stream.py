@@ -51,6 +51,12 @@ COMPLEXITIES = (0.5, 0.75, 1.0, 1.25, 1.5, 2.0)
 GATE_RUNS = 3
 THROUGHPUT_TOLERANCE = 1.10
 
+#: Recovery-gate tolerance: with worker recovery armed but no faults
+#: injected, the resilient dispatch path (watchdog thread + futures +
+#: per-chunk deadlines) must stay within this factor of the plain
+#: pool. Same best-of-N + allowance reasoning as the throughput gate.
+RECOVERY_TOLERANCE = 1.10
+
 
 def _site_pool():
     rng = np.random.default_rng(2019)
@@ -171,3 +177,51 @@ def test_stream_gate():
             f"streaming engine peak heap not below barrier: "
             f"{stream_peak} >= {barrier_peak} bytes at {len(sites)} sites"
         )
+
+
+def test_recovery_overhead_gate():
+    """CI acceptance gate: arming worker recovery (watchdog, deadlines,
+    resilient executor) with zero faults injected must not tax the
+    fault-free streaming path beyond ``RECOVERY_TOLERANCE``.
+
+    Live relative comparison -- both planes timed best-of-``GATE_RUNS``
+    in the same process on the same site pool, so host speed divides
+    out (docs/RESILIENCE.md "Host data plane fault model")."""
+    from repro.resilience.workers import WorkerRecovery
+
+    sites = _site_pool()
+    config = EngineConfig(workers=POOL_WORKERS, batch=POOL_BATCH,
+                          kernel=POOL_KERNEL)
+    recovery = WorkerRecovery()  # fault-free plan, default deadline
+    with StreamingEngine(config, queue_depth=QUEUE_DEPTH,
+                         use_shmem=False) as plain, StreamingEngine(
+        config, queue_depth=QUEUE_DEPTH, use_shmem=False,
+        recovery=recovery,
+    ) as recovered:
+        # Warm both pools and pin byte-identity once, before timing.
+        want = plain.run_sites(sites)
+        got = recovered.run_sites(sites)
+        for a, b in zip(got, want):
+            assert a.same_outputs(b)
+        del got, want
+        assert not recovered.recovery_counters, (
+            "fault-free recovery run recorded recovery work: "
+            f"{recovered.recovery_counters}"
+        )
+
+        plain_time = _best_of(GATE_RUNS,
+                              lambda: _consume_stream(plain, sites))
+        recovered_time = _best_of(GATE_RUNS,
+                                  lambda: _consume_stream(recovered, sites))
+
+    print(f"\nrecovery overhead at {len(sites)} sites, "
+          f"{POOL_WORKERS} workers:")
+    print(f"  wall-clock  plain {plain_time * 1e3:7.1f} ms   "
+          f"recovered {recovered_time * 1e3:7.1f} ms   "
+          f"({recovered_time / plain_time:.2f}x)")
+
+    assert recovered_time <= plain_time * RECOVERY_TOLERANCE, (
+        f"worker recovery taxes the fault-free stream: "
+        f"{recovered_time:.3f}s vs plain {plain_time:.3f}s over "
+        f"{len(sites)} sites"
+    )

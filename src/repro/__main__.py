@@ -33,6 +33,10 @@ Examples::
     python -m repro realign --reference /tmp/sample/reference.fa \
         --sam /tmp/sample/aligned.sam --out /tmp/sample/realigned.sam \
         --workers 4 --stream --queue-depth 3
+    python -m repro realign --reference /tmp/sample/reference.fa \
+        --sam /tmp/sample/aligned.sam --out /tmp/sample/realigned.sam \
+        --workers 2 --stream --worker-fault-rate 0.2 --chaos-seed 7 \
+        --chunk-deadline 5
     python -m repro trace --out /tmp/trace.json --fault-rate 0.1
     python -m repro trace --out /tmp/trace.json --workers 2 --stream
 """
@@ -188,20 +192,71 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_recovery_flags(args: argparse.Namespace):
+    """Validate the worker-recovery flags; an error string or None."""
+    if not 0.0 <= args.worker_fault_rate <= 1.0:
+        return (f"error: --worker-fault-rate must be in [0, 1], "
+                f"got {args.worker_fault_rate}")
+    if args.worker_fault_rate > 0.0 and args.workers < 2:
+        return ("error: --worker-fault-rate requires --workers >= 2 "
+                "(the inline engine has no worker pool to fault)")
+    if args.chunk_deadline is not None and args.chunk_deadline <= 0.0:
+        return (f"error: --chunk-deadline must be positive, "
+                f"got {args.chunk_deadline}")
+    return None
+
+
+def _make_recovery(args: argparse.Namespace):
+    """The :class:`WorkerRecovery` the ``--worker-fault-rate`` /
+    ``--chunk-deadline`` flags describe, or ``None`` (the engines then
+    fall back to the ``REPRO_WORKER_FAULT_RATE`` environment)."""
+    if args.worker_fault_rate == 0.0 and args.chunk_deadline is None:
+        return None
+    from repro.resilience.workers import WorkerRecovery
+
+    overrides = {}
+    if args.chunk_deadline is not None:
+        overrides["chunk_deadline"] = args.chunk_deadline
+    return WorkerRecovery.chaos(args.chaos_seed, args.worker_fault_rate,
+                                **overrides)
+
+
 def _make_engine(args: argparse.Namespace):
     """The engine the ``--workers/--batch/--stream`` flags describe:
     a plain :class:`EngineConfig` (the realigner builds its own barrier
-    engine), or a live :class:`StreamingEngine` when ``--stream``."""
+    engine), or a live :class:`StreamingEngine` when ``--stream`` --
+    or a live :class:`Engine` when worker recovery is requested."""
     from repro.engine import EngineConfig
 
     config = EngineConfig(workers=args.workers, batch=args.batch,
                           prefilter=args.prefilter, kernel=args.kernel)
+    recovery = _make_recovery(args)
     if not args.stream:
-        return config
+        if recovery is None:
+            return config
+        from repro.engine import Engine
+
+        return Engine(config, recovery=recovery)
     from repro.engine import StreamingEngine
 
     return StreamingEngine(config, queue_depth=args.queue_depth,
-                           use_shmem=args.shmem)
+                           use_shmem=args.shmem, recovery=recovery)
+
+
+def _print_recovery(engine) -> None:
+    """One summary line of the run's host-plane recovery activity."""
+    recovery = getattr(engine, "recovery", None)
+    if recovery is None:
+        return
+    counters = getattr(engine, "recovery_counters", {}) or {}
+    injected = sum(value for name, value in counters.items()
+                   if name.startswith("worker.injected."))
+    print(f"recovery: deadline {recovery.chunk_deadline:g}s, "
+          f"{injected} worker faults injected, "
+          f"{counters.get('worker.retries', 0)} retries, "
+          f"{counters.get('worker.pool_respawns', 0)} pool respawns, "
+          f"{counters.get('worker.quarantined_sites', 0)} sites "
+          f"quarantined inline")
 
 
 def _maybe_autotune(args: argparse.Namespace) -> None:
@@ -247,6 +302,10 @@ def _cmd_realign(args: argparse.Namespace) -> int:
         return 2
     if args.queue_depth < 1:
         print("error: --queue-depth must be >= 1", file=sys.stderr)
+        return 2
+    error = _check_recovery_flags(args)
+    if error is not None:
+        print(error, file=sys.stderr)
         return 2
     _maybe_autotune(args)
     engine = _make_engine(args)
@@ -305,6 +364,8 @@ def _cmd_realign(args: argparse.Namespace) -> int:
                   f"arena bytes {stats.get('stream.arena_bytes', 0)}, "
                   f"backpressure "
                   f"{stats.get('stream.backpressure_us', 0)} us")
+    if hasattr(engine, "close"):  # a live engine, not a bare config
+        _print_recovery(engine)
         engine.close()
     write_sam(updated, args.out, reference)
     print(f"{report.targets_identified} targets, {report.sites_built} sites, "
@@ -329,6 +390,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 2
     if args.queue_depth < 1:
         print("error: --queue-depth must be >= 1", file=sys.stderr)
+        return 2
+    error = _check_recovery_flags(args)
+    if error is not None:
+        print(error, file=sys.stderr)
         return 2
     _maybe_autotune(args)
     census = next(c for c in CHROMOSOME_CENSUS if c.name == "21")
@@ -391,15 +456,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.engine import Engine, EngineConfig
 
     engine_session = Telemetry(label="engine")
+    recovery = _make_recovery(args)
     with Engine(EngineConfig(workers=args.workers, batch=args.batch,
                              prefilter=args.prefilter,
-                             kernel=args.kernel)) as engine:
+                             kernel=args.kernel),
+                recovery=recovery) as engine:
         engine.run_sites(sites, telemetry=engine_session)
     sessions.append(engine_session)
     if args.stream:
         # Streaming data-plane session over the same workload: chunk
         # spans land on CAT_STREAM tracks with queue/backpressure
-        # counters next to the barrier engine's session for comparison.
+        # counters next to the barrier engine's session for comparison
+        # (and, under --worker-fault-rate, CAT_RECOVERY spans beside
+        # the chunks whose workers were killed/hung/errored).
         from repro.engine import StreamingEngine
 
         stream_session = Telemetry(label="stream")
@@ -407,6 +476,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             EngineConfig(workers=args.workers, batch=args.batch,
                          prefilter=args.prefilter, kernel=args.kernel),
             queue_depth=args.queue_depth, use_shmem=args.shmem,
+            recovery=recovery,
         ) as stream_engine:
             stream_engine.run_sites(sites, telemetry=stream_session)
         sessions.append(stream_session)
@@ -581,6 +651,20 @@ def _add_engine_flags(subparser: argparse.ArgumentParser) -> None:
         "--autotune", action="store_true",
         help="re-time the kernels on this host and persist the cost "
              "profile before running (see REPRO_AUTOTUNE_PROFILE)",
+    )
+    subparser.add_argument(
+        "--worker-fault-rate", type=float, default=0.0,
+        dest="worker_fault_rate",
+        help="host chaos mode: per-chunk-dispatch probability of an "
+             "injected worker fault (SIGKILL/hang/delay/error), seeded "
+             "by --chaos-seed; requires --workers >= 2",
+    )
+    subparser.add_argument(
+        "--chunk-deadline", type=float, default=None, dest="chunk_deadline",
+        metavar="SECONDS",
+        help="per-chunk watchdog deadline; enables worker-crash "
+             "recovery (retry/bisect/quarantine + pool respawn) even "
+             "at fault rate 0",
     )
 
 

@@ -18,7 +18,7 @@ model plus the DMA/clock models.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -40,8 +40,10 @@ from repro.realign.realigner import (
     apply_realignment,
 )
 from repro.realign.site import RealignmentSite, SiteLimits, PAPER_LIMITS
-from repro.resilience.health import ResilienceStats
-from repro.resilience.policy import ResilienceConfig
+
+if TYPE_CHECKING:  # annotation-only: breaks the core <-> resilience cycle
+    from repro.resilience.health import ResilienceStats
+    from repro.resilience.policy import ResilienceConfig
 
 
 @dataclass(frozen=True)

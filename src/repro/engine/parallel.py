@@ -192,12 +192,32 @@ class Engine:
     of milliseconds -- far more than a warm task round-trip), so create
     the engine once and reuse it. Usable as a context manager; the pool
     is also reaped on garbage collection.
+
+    ``recovery`` (a :class:`~repro.resilience.workers.WorkerRecovery`)
+    switches multiprocess dispatch onto the fault-tolerant
+    :class:`~repro.resilience.workers.ResilientPool`: per-chunk
+    deadlines, retry/bisect/quarantine of lost chunks, pool respawn on
+    worker death -- with byte-identical output. When ``None`` (the
+    default), the environment is consulted
+    (:meth:`~repro.resilience.workers.WorkerRecovery.from_env`), so CI
+    can run any engine workload under injected chaos; with no relevant
+    environment either, the original unrecovered pool path runs
+    unchanged.
     """
 
-    def __init__(self, config: Optional[EngineConfig] = None):
+    def __init__(self, config: Optional[EngineConfig] = None,
+                 recovery=None):
+        from repro.resilience.workers import WorkerRecovery
+
         self.config = config if config is not None else EngineConfig()
+        self.recovery = (recovery if recovery is not None
+                         else WorkerRecovery.from_env())
         self.shard_stats: List[ShardStats] = []  # from the latest run
+        #: Recovery observations from the latest run (resilient mode).
+        self.recovery_counters: Dict[str, int] = {}
+        self.recovery_events: List = []
         self._pool = None
+        self._rpool = None
 
     def run_sites(
         self,
@@ -227,6 +247,8 @@ class Engine:
                 _realign_chunk(chunk_id, chunk, self.config)
                 for chunk_id, chunk in payloads
             ]
+        elif self.recovery is not None:
+            outcomes = self._run_recovered(payloads)
         else:
             pool = self._ensure_pool()
             outcomes = list(pool.imap_unordered(_run_chunk, payloads))
@@ -245,12 +267,68 @@ class Engine:
             for name, value in counters.items():
                 merged[name] = merged.get(name, 0) + value
         self.shard_stats = stats
+        self._fold_recovery(telemetry, run_start)
         if telemetry is not None:
             for name, value in merged.items():
                 telemetry.count(name, value)
             record_engine_shards(telemetry, stats, origin=run_start,
                                  workers=self.config.workers)
         return results
+
+    def _run_recovered(self, payloads):
+        """Barrier dispatch over the fault-tolerant pool."""
+        import queue as queue_module
+
+        from repro.resilience.policy import ResilienceError
+
+        rpool = self._ensure_rpool()
+        rpool.begin_run()
+        done: "queue_module.Queue" = queue_module.Queue()
+        for chunk_id, chunk in payloads:
+            rpool.submit_chunk(chunk_id, chunk, on_done=done.put)
+        # Recovery guarantees forward progress; the bound only turns a
+        # recovery-machinery bug from a silent hang into a loud error.
+        bound = self.recovery.completion_bound_seconds(
+            self.config.batch, len(payloads)
+        )
+        outcomes = []
+        for _ in payloads:
+            try:
+                outcome = done.get(timeout=bound)
+            except queue_module.Empty:
+                raise ResilienceError(
+                    "worker recovery made no progress within "
+                    f"{bound:.0f}s ({len(outcomes)}/{len(payloads)} "
+                    "chunks completed)"
+                ) from None
+            if isinstance(outcome, BaseException):
+                raise outcome
+            outcomes.append(outcome)
+        return outcomes
+
+    def _fold_recovery(self, telemetry, run_start: float) -> None:
+        """Drain the resilient pool's observations into telemetry."""
+        if self._rpool is None:
+            return
+        from repro.resilience.workers import record_recovery_spans
+
+        counters, events = self._rpool.drain()
+        self.recovery_counters = counters
+        self.recovery_events = events
+        if telemetry is not None:
+            for name, value in counters.items():
+                telemetry.count(name, value)
+            record_recovery_spans(telemetry, events, origin=run_start)
+
+    def _ensure_rpool(self):
+        if self._rpool is None:
+            from repro.resilience.workers import ResilientPool
+
+            profile = (resolve_profile()
+                       if self.config.kernel == "auto" else None)
+            self._rpool = ResilientPool(self.config, self.recovery,
+                                        profile=profile)
+        return self._rpool
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -275,6 +353,9 @@ class Engine:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        if self._rpool is not None:
+            self._rpool.close()
+            self._rpool = None
 
     def __enter__(self) -> "Engine":
         return self

@@ -35,8 +35,9 @@ the mapping survives until the last close.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,6 +50,38 @@ except ImportError:  # pragma: no cover - exercised only on exotic builds
 
 #: True when shared-memory arenas can actually be created here.
 HAVE_SHARED_MEMORY = _shared_memory is not None
+
+logger = logging.getLogger(__name__)
+
+#: Arena lifecycle anomalies observed since the last drain. Cleanup
+#: paths must never raise (they run in __del__ and interpreter
+#: teardown), but they must not be *silent* either: anomalies are
+#: counted here and folded into the next run's telemetry by
+#: StreamingEngine (see :func:`drain_lifecycle_counters`).
+_LIFECYCLE_COUNTERS: Dict[str, int] = {}
+
+
+def _lifecycle_count(name: str, delta: int = 1) -> None:
+    _LIFECYCLE_COUNTERS[name] = _LIFECYCLE_COUNTERS.get(name, 0) + delta
+
+
+def drain_lifecycle_counters() -> Dict[str, int]:
+    """Pop the accumulated ``shmem.*`` lifecycle anomaly counters.
+
+    - ``shmem.arena_gc_reclaimed``: an :class:`ArenaHandle` reached
+      garbage collection still holding its arena -- the owner never
+      called ``release()`` (the ``__del__`` safety net unlinked it);
+    - ``shmem.release_failed``: a release attempt raised (the arena may
+      genuinely leak until interpreter exit -- the resource tracker's
+      problem after that);
+    - ``shmem.unlink_missing``: the segment was already gone at unlink
+      (e.g. a resource tracker reaped a crashed run's arena first);
+    - ``shmem.tracker_start_failed``: the resource tracker could not be
+      started ahead of the pool fork.
+    """
+    drained = dict(_LIFECYCLE_COUNTERS)
+    _LIFECYCLE_COUNTERS.clear()
+    return drained
 
 
 @dataclass(frozen=True)
@@ -115,13 +148,23 @@ class ArenaHandle:
             try:
                 shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+                _lifecycle_count("shmem.unlink_missing")
+                logger.debug("arena %s was already unlinked", shm.name)
 
     def __del__(self):  # pragma: no cover - GC timing dependent
+        if self._shm is None:
+            return
+        # An arena reaching GC un-released means its owner lost track of
+        # it (e.g. an abandoned stream mid-exception): reclaim it, but
+        # loudly -- a rising counter here is a lifecycle bug upstream.
+        _lifecycle_count("shmem.arena_gc_reclaimed")
         try:
+            name = self._shm.name
             self.release()
+            logger.warning("arena %s reclaimed by GC, not release()", name)
         except Exception:
-            pass
+            _lifecycle_count("shmem.release_failed")
+            logger.exception("arena release failed during GC")
 
 
 def _pack_into(buffer: memoryview, sites: Sequence[RealignmentSite],
@@ -209,7 +252,11 @@ def ensure_resource_tracker() -> None:
 
         resource_tracker.ensure_running()
     except Exception:
-        pass
+        # Not fatal -- workers fall back to private trackers -- but
+        # worth counting: exit-time "leaked segment" noise starts here.
+        _lifecycle_count("shmem.tracker_start_failed")
+        logger.warning("could not start the shared-memory resource "
+                       "tracker before the pool fork", exc_info=True)
 
 
 def _attach(name: str):
@@ -287,6 +334,7 @@ __all__ = [
     "ChunkDescriptor",
     "HAVE_SHARED_MEMORY",
     "SiteRecord",
+    "drain_lifecycle_counters",
     "ensure_resource_tracker",
     "pack_chunk",
     "unpack_chunk",

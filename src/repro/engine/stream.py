@@ -46,12 +46,14 @@ from repro.engine.parallel import (
 )
 from repro.engine.shmem import (
     HAVE_SHARED_MEMORY,
+    drain_lifecycle_counters,
     ensure_resource_tracker,
     pack_chunk,
     unpack_chunk,
 )
 from repro.realign.site import RealignmentSite
 from repro.realign.whd import SiteResult
+from repro.resilience.policy import ResilienceError
 
 
 def _run_stream_chunk(descriptor):
@@ -128,8 +130,9 @@ class StreamingEngine(Engine):
         config: Optional[EngineConfig] = None,
         queue_depth: int = 2,
         use_shmem: bool = True,
+        recovery=None,
     ):
-        super().__init__(config)
+        super().__init__(config, recovery=recovery)
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
         self.queue_depth = queue_depth
@@ -199,13 +202,25 @@ class StreamingEngine(Engine):
             # parent's resource tracker instead of spawning their own
             # (see shmem.ensure_resource_tracker).
             ensure_resource_tracker()
-        pool = self._ensure_pool()
+        recovered = self.recovery is not None
+        if recovered:
+            rpool = self._ensure_rpool()
+            rpool.begin_run()
+            # Recovery guarantees forward progress; the bound only
+            # turns a recovery-machinery bug from a silent hang into a
+            # loud ResilienceError.
+            get_bound = self.recovery.completion_bound_seconds(
+                self.config.batch, len(chunks)
+            )
+        else:
+            pool = self._ensure_pool()
         window = self.queue_depth * self.config.workers
         done: queue_module.Queue = queue_module.Queue()
         arenas: Dict[int, object] = {}
         reorder = ReorderBuffer()
         merged: Dict[str, int] = {}
         arena_bytes = 0
+        arena_recovered = 0
         backpressure_us = 0
         in_flight = 0
         in_flight_peak = 0
@@ -228,10 +243,15 @@ class StreamingEngine(Engine):
                     )
                     arenas[chunk_id] = handle
                     arena_bytes += descriptor.nbytes
-                    pool.apply_async(
-                        _run_stream_chunk, (descriptor,),
-                        callback=done.put, error_callback=done.put,
-                    )
+                    if recovered:
+                        rpool.submit_chunk(chunk_id, chunk,
+                                           on_done=done.put,
+                                           descriptor=descriptor)
+                    else:
+                        pool.apply_async(
+                            _run_stream_chunk, (descriptor,),
+                            callback=done.put, error_callback=done.put,
+                        )
                     submitted += 1
                     in_flight += 1
                     in_flight_peak = max(in_flight_peak, in_flight)
@@ -239,7 +259,17 @@ class StreamingEngine(Engine):
                 # until a chunk completes. Time spent here with tasks
                 # still unsubmitted is backpressure by definition.
                 wait_start = time.perf_counter()
-                outcome = done.get()
+                if recovered:
+                    try:
+                        outcome = done.get(timeout=get_bound)
+                    except queue_module.Empty:
+                        raise ResilienceError(
+                            "worker recovery made no progress within "
+                            f"{get_bound:.0f}s ({completed}/{len(chunks)} "
+                            "chunks completed)"
+                        ) from None
+                else:
+                    outcome = done.get()
                 if submitted < len(chunks):
                     backpressure_us += int(
                         (time.perf_counter() - wait_start) * 1e6
@@ -247,7 +277,12 @@ class StreamingEngine(Engine):
                 if isinstance(outcome, BaseException):
                     raise outcome
                 chunk_id = outcome[0]
+                # The parent owns every arena, so even a chunk whose
+                # worker was SIGKILLed mid-read is unlinked here, not
+                # leaked; recovered chunks are counted separately.
                 arenas.pop(chunk_id).release()
+                if outcome[4].get("worker.chunks_recovered"):
+                    arena_recovered += 1
                 in_flight -= 1
                 completed += 1
                 self._file_outcome(outcome, len(chunks[chunk_id][1]),
@@ -265,7 +300,9 @@ class StreamingEngine(Engine):
                          in_flight_peak=in_flight_peak,
                          reorder_peak=reorder.peak_pending,
                          backpressure_us=backpressure_us,
-                         arena_bytes=arena_bytes)
+                         arena_bytes=arena_bytes,
+                         arena_recovered=arena_recovered)
+            self._fold_recovery(telemetry, run_start)
 
     # -- shared bookkeeping ---------------------------------------------
     def _file_outcome(self, outcome, num_sites: int,
@@ -279,7 +316,8 @@ class StreamingEngine(Engine):
             merged[name] = merged.get(name, 0) + value
 
     def _finish(self, telemetry, merged, run_start, *, in_flight_peak,
-                reorder_peak, backpressure_us, arena_bytes) -> None:
+                reorder_peak, backpressure_us, arena_bytes,
+                arena_recovered: int = 0) -> None:
         from repro.perf.fleet import record_stream_chunks
 
         self.shard_stats.sort(key=lambda s: s.shard)
@@ -290,12 +328,15 @@ class StreamingEngine(Engine):
             "stream.reorder_peak": reorder_peak,
             "stream.backpressure_us": backpressure_us,
             "stream.arena_bytes": arena_bytes,
+            "stream.arena_recovered": arena_recovered,
             "stream.shmem": int(self.use_shmem),
         }
         if telemetry is not None:
             for name, value in merged.items():
                 telemetry.count(name, value)
             for name, value in self.stream_stats.items():
+                telemetry.count(name, value)
+            for name, value in drain_lifecycle_counters().items():
                 telemetry.count(name, value)
             record_stream_chunks(telemetry, self.shard_stats,
                                  origin=run_start,

@@ -132,6 +132,10 @@ class RefinementPipeline:
 _DONE = object()
 
 
+class _PipelineStop(Exception):
+    """Internal: a stage observed the stop event and is unwinding."""
+
+
 class StreamingRefinementPipeline(RefinementPipeline):
     """Region-granular refinement with overlapped stages.
 
@@ -206,22 +210,47 @@ class StreamingRefinementPipeline(RefinementPipeline):
         busy = {stage: 0.0 for stage in self.STAGES}
         waits = {stage: 0.0 for stage in self.STAGES}
         errors: List[BaseException] = []
+        # One stop event shuts the whole pipeline down: every blocking
+        # queue operation is a short-timeout poll of this event, so a
+        # stage error -- or a KeyboardInterrupt in the main thread --
+        # unwinds every thread within one tick instead of leaving them
+        # blocked on full/empty queues forever.
+        stop = threading.Event()
         queues = {
             stage: queue_module.Queue(maxsize=self.queue_depth)
             for stage in self.STAGES
         }
 
+        def _put(outbox, item) -> None:
+            while True:
+                if stop.is_set():
+                    raise _PipelineStop()
+                try:
+                    outbox.put(item, timeout=0.05)
+                    return
+                except queue_module.Full:
+                    continue
+
+        def _get(inbox):
+            while True:
+                if stop.is_set():
+                    raise _PipelineStop()
+                try:
+                    return inbox.get(timeout=0.05)
+                except queue_module.Empty:
+                    continue
+
         def _forward(stage: str, outbox, items) -> None:
             for item in items:
                 wait_start = time.perf_counter()
-                outbox.put(item)
+                _put(outbox, item)
                 waits[stage] += time.perf_counter() - wait_start
 
         def _stage(stage: str, inbox, outbox,
                    transform: Callable[[int, List[Read]], Iterable]) -> None:
             try:
                 while True:
-                    item = inbox.get()
+                    item = _get(inbox)
                     if item is _DONE:
                         break
                     index, payload = item
@@ -235,12 +264,16 @@ class StreamingRefinementPipeline(RefinementPipeline):
                             start - run_start, end - run_start, CAT_STREAM,
                         )
                     _forward(stage, outbox, produced)
+            except _PipelineStop:
+                return  # shutdown: everyone downstream saw stop too
             except BaseException as exc:  # propagate to the caller
                 errors.append(exc)
-                while inbox.get() is not _DONE:  # unblock upstream
-                    pass
-            finally:
-                outbox.put(_DONE)
+                stop.set()
+                return
+            try:
+                _put(outbox, _DONE)
+            except _PipelineStop:
+                pass
 
         # -- stage transforms (each runs single-threaded in its stage) --
         region_counter = [0]
@@ -293,12 +326,18 @@ class StreamingRefinementPipeline(RefinementPipeline):
                 buckets = contig_buckets(reads, self.reference)
                 for index, bucket in enumerate(buckets):
                     wait_start = time.perf_counter()
-                    queues["sort"].put((index, bucket))
+                    _put(queues["sort"], (index, bucket))
                     feed_wait[0] += time.perf_counter() - wait_start
+            except _PipelineStop:
+                return
             except BaseException as exc:  # propagate to the caller
                 errors.append(exc)
-            finally:
-                queues["sort"].put(_DONE)
+                stop.set()
+                return
+            try:
+                _put(queues["sort"], _DONE)
+            except _PipelineStop:
+                pass
 
         threads = [
             threading.Thread(target=_feed, name="refine-feed", daemon=True)
@@ -326,7 +365,12 @@ class StreamingRefinementPipeline(RefinementPipeline):
         drained = False
         try:
             while True:
-                item = inbox.get()
+                try:
+                    item = inbox.get(timeout=0.05)
+                except queue_module.Empty:
+                    if stop.is_set():
+                        break  # a stage errored and the flow stopped
+                    continue
                 if item is _DONE:
                     drained = True
                     break
@@ -343,13 +387,12 @@ class StreamingRefinementPipeline(RefinementPipeline):
                         start - run_start, end - run_start, CAT_STREAM,
                     )
         finally:
-            # If the drain loop itself raised, the stage threads are
-            # still blocked on full queues; keep consuming until their
-            # _DONE arrives so backpressure clears, then join so no
-            # thread outlives the run.
+            # If the drain loop exited early -- a stage error, or a
+            # KeyboardInterrupt landing on this (main) thread -- the
+            # stop event unwinds every blocked stage within one poll
+            # tick, and the joins guarantee no thread outlives the run.
             if not drained:
-                while inbox.get() is not _DONE:
-                    pass
+                stop.set()
             for thread in threads:
                 thread.join()
         if errors:

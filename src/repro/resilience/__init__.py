@@ -16,7 +16,12 @@ fault-free run:
   fault-event counters threaded into ``SystemRunResult``;
 - :mod:`repro.resilience.recovery` -- the watchdog-driven asynchronous
   scheduler that retries, quarantines, and degrades to the software
-  realigner.
+  realigner;
+- :mod:`repro.resilience.workers` -- the same design applied to the
+  *host* data plane: :class:`WorkerFaultPlan` chaos (SIGKILL / hang /
+  delay / error of real worker processes) and the
+  :class:`ResilientPool` watchdog (chunk deadlines, retry/bisect/
+  quarantine, pool respawn) behind ``Engine``/``StreamingEngine``.
 
 See ``docs/RESILIENCE.md`` for the taxonomy, policies, and guarantees.
 """
@@ -37,18 +42,38 @@ from repro.resilience.recovery import (
     ResilientScheduleResult,
     schedule_with_recovery,
 )
+from repro.resilience.workers import (
+    ForcedWorkerFault,
+    InjectedWorkerError,
+    RecoveryEvent,
+    ResilientPool,
+    WorkerFaultEvent,
+    WorkerFaultKind,
+    WorkerFaultPlan,
+    WorkerRecovery,
+    record_recovery_spans,
+)
 
 __all__ = [
     "FaultCounters",
     "FaultEvent",
     "FaultKind",
     "FaultPlan",
+    "ForcedWorkerFault",
+    "InjectedWorkerError",
     "QuarantinePolicy",
+    "RecoveryEvent",
     "ResilienceConfig",
     "ResilienceError",
     "ResilienceStats",
+    "ResilientPool",
     "ResilientScheduleResult",
     "RetryPolicy",
     "UnitHealth",
+    "WorkerFaultEvent",
+    "WorkerFaultKind",
+    "WorkerFaultPlan",
+    "WorkerRecovery",
+    "record_recovery_spans",
     "schedule_with_recovery",
 ]

@@ -40,6 +40,7 @@ from repro.telemetry.spans import (
     CAT_FALLBACK,
     CAT_FAULTED,
     CAT_FLEET,
+    CAT_RECOVERY,
     CAT_STREAM,
     CAT_TRANSFER,
     Telemetry,
@@ -54,6 +55,7 @@ __all__ = [
     "CAT_FALLBACK",
     "CAT_FAULTED",
     "CAT_FLEET",
+    "CAT_RECOVERY",
     "CAT_STREAM",
     "CAT_TRANSFER",
     "CHANNEL_UNIT",

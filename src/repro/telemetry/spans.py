@@ -41,6 +41,7 @@ CAT_FALLBACK = "fallback"    # software completion on the host CPU
 CAT_FLEET = "fleet"          # one job on one fleet instance
 CAT_ENGINE = "engine"        # one shard on a host worker process
 CAT_STREAM = "stream"        # one chunk in the streaming data plane
+CAT_RECOVERY = "recovery"    # a host data-plane recovery action
 
 
 def unit_track(unit: int) -> str:

@@ -1,0 +1,518 @@
+"""Tests for host data-plane fault tolerance (resilience.workers).
+
+The contract under test mirrors the accelerator plane's: under any
+seeded schedule of worker faults -- SIGKILL, hang, delay, error -- the
+engines complete without hanging and their output is byte-identical to
+a fault-free run, with every recovery action visible in telemetry.
+Specific regressions pinned here: a worker SIGKILLed mid-chunk at
+``queue_depth=1`` used to block the in-flight window forever; a
+``BrokenProcessPool`` used to abort a ``--stream`` run; a crashed
+worker's shared-memory arena used to leak silently.
+"""
+
+import gc
+import io
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine, EngineConfig, StreamingEngine
+from repro.engine.shmem import (
+    HAVE_SHARED_MEMORY,
+    drain_lifecycle_counters,
+    pack_chunk,
+)
+from repro.resilience.workers import (
+    ForcedWorkerFault,
+    RecoveryEvent,
+    WorkerFaultKind,
+    WorkerFaultPlan,
+    WorkerRecovery,
+    record_recovery_spans,
+)
+from repro.telemetry import CAT_RECOVERY, Telemetry
+from tests.test_stream import _sites
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnraisableExceptionWarning"
+)
+
+
+def _serial_results(sites):
+    return Engine(EngineConfig(workers=1, batch=2)).run_sites(sites)
+
+
+def _assert_identical(got, want):
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        assert a.same_outputs(b)
+
+
+class TestWorkerFaultPlan:
+    def test_draws_are_order_independent(self):
+        plan = WorkerFaultPlan.chaos(seed=5, rate=0.6)
+        keys = [(chunk, lo, attempt) for chunk in range(4)
+                for lo in (0, 2) for attempt in range(3)]
+        forward = {key: plan.chunk_outcome(*key) for key in keys}
+        backward = {key: plan.chunk_outcome(*key)
+                    for key in reversed(keys)}
+        assert forward == backward
+        # And replays identically from a fresh plan with the same seed.
+        replay = WorkerFaultPlan.chaos(seed=5, rate=0.6)
+        assert {k: replay.chunk_outcome(*k) for k in keys} == forward
+
+    def test_none_plan_never_faults(self):
+        plan = WorkerFaultPlan.none()
+        assert plan.is_fault_free
+        assert all(plan.chunk_outcome(c, 0, a) is None
+                   for c in range(8) for a in range(4))
+
+    def test_chaos_rate_splits_over_kinds(self):
+        plan = WorkerFaultPlan.chaos(seed=1, rate=1.0)
+        outcomes = [plan.chunk_outcome(chunk, 0, 0) for chunk in range(64)]
+        kinds = {event.kind for event in outcomes if event is not None}
+        # rate=1.0 means every dispatch faults, across all four kinds.
+        assert all(event is not None for event in outcomes)
+        assert kinds == set(WorkerFaultKind)
+
+    def test_scripted_faults_strike_exactly_once(self):
+        plan = WorkerFaultPlan.scripted(
+            ForcedWorkerFault(chunk=2, attempt=1,
+                              kind=WorkerFaultKind.ERROR),
+        )
+        hit = plan.chunk_outcome(2, 0, 1)
+        assert hit is not None and hit.kind is WorkerFaultKind.ERROR
+        assert plan.chunk_outcome(2, 0, 0) is None
+        assert plan.chunk_outcome(2, 0, 2) is None
+        assert plan.chunk_outcome(1, 0, 1) is None
+        assert plan.chunk_outcome(2, 1, 1) is None  # bisected half differs
+
+    def test_magnitudes_are_deterministic_and_bounded(self):
+        plan = WorkerFaultPlan(seed=9, delay_rate=1.0,
+                               delay_range=(0.01, 0.02))
+        events = [plan.chunk_outcome(chunk, 0, 0) for chunk in range(16)]
+        assert all(e.kind is WorkerFaultKind.DELAY for e in events)
+        assert all(0.01 <= e.magnitude <= 0.02 for e in events)
+        replay = WorkerFaultPlan(seed=9, delay_rate=1.0,
+                                 delay_range=(0.01, 0.02))
+        assert [replay.chunk_outcome(c, 0, 0).magnitude
+                for c in range(16)] == [e.magnitude for e in events]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerFaultPlan(kill_rate=1.5)
+        with pytest.raises(ValueError):
+            WorkerFaultPlan(kill_rate=0.6, error_rate=0.6)
+        with pytest.raises(ValueError):
+            WorkerFaultPlan(delay_range=(0.5, 0.1))
+        with pytest.raises(ValueError):
+            WorkerFaultPlan(hang_seconds=0.0)
+        with pytest.raises(ValueError):
+            WorkerFaultPlan.chaos(seed=0, rate=2.0)
+
+
+class TestWorkerRecoveryConfig:
+    def test_from_env_returns_none_without_relevant_vars(self):
+        assert WorkerRecovery.from_env(env={}) is None
+        assert WorkerRecovery.from_env(env={"REPRO_CHAOS_SEED": "7"}) is None
+
+    def test_from_env_builds_chaos_plan(self):
+        recovery = WorkerRecovery.from_env(env={
+            "REPRO_WORKER_FAULT_RATE": "0.2",
+            "REPRO_CHAOS_SEED": "11",
+            "REPRO_CHUNK_DEADLINE": "4.5",
+            "REPRO_WORKER_HANG_SECONDS": "2.0",
+        })
+        assert recovery is not None
+        assert recovery.plan.seed == 11
+        assert recovery.plan.worker_fault_rate == pytest.approx(0.2)
+        assert recovery.plan.hang_seconds == 2.0
+        assert recovery.chunk_deadline == 4.5
+
+    def test_from_env_deadline_alone_enables_recovery(self):
+        recovery = WorkerRecovery.from_env(
+            env={"REPRO_CHUNK_DEADLINE": "9"})
+        assert recovery is not None
+        assert recovery.plan.is_fault_free
+        assert recovery.chunk_deadline == 9.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerRecovery(chunk_deadline=0.0)
+        with pytest.raises(ValueError):
+            WorkerRecovery(cycle_seconds=0.0)
+        with pytest.raises(ValueError):
+            WorkerRecovery(watchdog_tick=-1.0)
+
+    def test_backoff_seconds_scales_cycle_schedule(self):
+        policy = WorkerRecovery().retry
+        plan = WorkerFaultPlan.none()
+        first = policy.backoff_seconds(0, plan, target=3)
+        assert 0.0 < first < 0.001  # ~256 us at the default scale
+        assert policy.backoff_seconds(0, plan, target=3,
+                                      cycle_seconds=2e-6) == first * 2
+        with pytest.raises(ValueError):
+            policy.backoff_seconds(0, plan, target=3, cycle_seconds=0.0)
+
+
+class TestRecoverySpans:
+    def test_events_become_recovery_spans_and_counter(self):
+        telemetry = Telemetry()
+        events = [
+            RecoveryEvent(name="deadline chunk 3", start=10.0, end=10.5,
+                          chunk=3, attempt=0),
+            RecoveryEvent(name="respawn pool", start=10.5, end=10.6),
+        ]
+        record_recovery_spans(telemetry, events, origin=10.0)
+        spans = telemetry.spans_in(CAT_RECOVERY)
+        assert [span.name for span in spans] == ["deadline chunk 3",
+                                                 "respawn pool"]
+        assert all(span.track == "worker recovery" for span in spans)
+        assert spans[0].start == 0.0 and spans[0].end == 0.5
+        assert telemetry.counters.flat()["worker.recovery_spans"] == 2
+
+    def test_no_telemetry_or_events_is_a_noop(self):
+        record_recovery_spans(None, [RecoveryEvent("x", 0.0, 1.0)])
+        telemetry = Telemetry()
+        record_recovery_spans(telemetry, [])
+        assert telemetry.spans == []
+
+
+def _recovery(*faults, deadline=8.0, **plan_overrides):
+    return WorkerRecovery(
+        plan=WorkerFaultPlan.scripted(*faults, **plan_overrides),
+        chunk_deadline=deadline,
+    )
+
+
+class TestEngineRecovery:
+    def test_fault_free_recovery_is_byte_identical(self):
+        sites = _sites(8, seed=23)
+        want = _serial_results(sites)
+        with Engine(EngineConfig(workers=2, batch=2),
+                    recovery=_recovery()) as engine:
+            _assert_identical(engine.run_sites(sites), want)
+            assert engine.recovery_counters == {}
+
+    def test_sigkill_mid_chunk_respawns_and_completes(self):
+        sites = _sites(8, seed=31)
+        want = _serial_results(sites)
+        recovery = _recovery(
+            ForcedWorkerFault(chunk=1, attempt=0,
+                              kind=WorkerFaultKind.KILL),
+        )
+        telemetry = Telemetry()
+        with Engine(EngineConfig(workers=2, batch=2),
+                    recovery=recovery) as engine:
+            _assert_identical(engine.run_sites(sites, telemetry=telemetry),
+                              want)
+            counters = engine.recovery_counters
+        assert counters["worker.injected.worker-kill"] == 1
+        assert counters["worker.pool_respawns"] >= 1
+        flat = telemetry.counters.flat()
+        assert flat["worker.pool_respawns"] >= 1
+        assert telemetry.spans_in(CAT_RECOVERY)
+
+    def test_injected_error_is_retried(self):
+        sites = _sites(6, seed=37)
+        want = _serial_results(sites)
+        recovery = _recovery(
+            ForcedWorkerFault(chunk=0, attempt=0,
+                              kind=WorkerFaultKind.ERROR),
+        )
+        with Engine(EngineConfig(workers=2, batch=2),
+                    recovery=recovery) as engine:
+            _assert_identical(engine.run_sites(sites), want)
+            counters = engine.recovery_counters
+        assert counters["worker.errors"] == 1
+        assert counters["worker.retries"] >= 1
+
+    def test_hang_expires_deadline_and_recovers(self):
+        sites = _sites(6, seed=41)
+        want = _serial_results(sites)
+        recovery = WorkerRecovery(
+            plan=WorkerFaultPlan.scripted(
+                ForcedWorkerFault(chunk=1, attempt=0,
+                                  kind=WorkerFaultKind.HANG),
+                hang_seconds=2.0,
+            ),
+            chunk_deadline=0.5,
+        )
+        start = time.perf_counter()
+        with Engine(EngineConfig(workers=2, batch=2),
+                    recovery=recovery) as engine:
+            _assert_identical(engine.run_sites(sites), want)
+            counters = engine.recovery_counters
+        assert counters["worker.deadline_expired"] >= 1
+        # The hang is 2 s; the run must finish well under the hang-free
+        # serial bound plus one deadline + retry, not wait it out fully.
+        assert time.perf_counter() - start < 30.0
+
+    def test_poison_chunk_bisects_then_quarantines_inline(self):
+        sites = _sites(4, seed=43)
+        want = _serial_results(sites)
+        attempts = WorkerRecovery().retry.max_attempts
+        # Error every attempt at offsets 0 and 1 of chunk 0: the whole
+        # chunk (lo=0) exhausts and bisects; each 1-site half (lo=0 and
+        # lo=1) exhausts again and must quarantine inline.
+        faults = [
+            ForcedWorkerFault(chunk=0, lo=lo, attempt=attempt,
+                              kind=WorkerFaultKind.ERROR)
+            for lo in (0, 1)
+            for attempt in range(attempts)
+        ]
+        recovery = _recovery(*faults, deadline=8.0)
+        with Engine(EngineConfig(workers=2, batch=2),
+                    recovery=recovery) as engine:
+            _assert_identical(engine.run_sites(sites), want)
+            counters = engine.recovery_counters
+        assert counters["worker.bisects"] >= 1
+        assert counters["worker.quarantined_sites"] == 2
+        # lo=0 faults strike the whole chunk AND its first half; lo=1
+        # faults strike the second half: 3 exhausted attempt budgets.
+        assert counters["worker.errors"] == 3 * attempts
+
+    def test_bisect_isolates_poison_to_one_site(self):
+        sites = _sites(4, seed=47)
+        want = _serial_results(sites)
+        attempts = WorkerRecovery().retry.max_attempts
+        # Fault every attempt at (chunk 1, lo=0). The whole chunk
+        # exhausts and bisects; the lo=0 half inherits the same fault
+        # key and quarantines, but the lo=1 half -- never faulted --
+        # completes in the pool: exactly one site leaves the fast path.
+        faults = [
+            ForcedWorkerFault(chunk=1, attempt=attempt,
+                              kind=WorkerFaultKind.ERROR)
+            for attempt in range(attempts)
+        ]
+        with Engine(EngineConfig(workers=2, batch=2),
+                    recovery=_recovery(*faults)) as engine:
+            _assert_identical(engine.run_sites(sites), want)
+            counters = engine.recovery_counters
+        assert counters["worker.bisects"] == 1
+        assert counters["worker.quarantined_sites"] == 1
+        assert counters["worker.errors"] == 2 * attempts
+
+
+class TestStreamingRecovery:
+    def test_sigkill_at_queue_depth_one_completes(self):
+        # The original hang: a killed worker lost its chunk and the
+        # depth-1 window never freed. The watchdog must finish the run.
+        sites = _sites(8, seed=53)
+        want = _serial_results(sites)
+        recovery = _recovery(
+            ForcedWorkerFault(chunk=1, attempt=0,
+                              kind=WorkerFaultKind.KILL),
+        )
+        telemetry = Telemetry()
+        with StreamingEngine(EngineConfig(workers=2, batch=2),
+                             queue_depth=1, recovery=recovery) as stream:
+            got = list(stream.stream_sites(sites, telemetry=telemetry))
+            counters = stream.recovery_counters
+            stats = dict(stream.stream_stats)
+        _assert_identical(got, want)
+        assert counters["worker.injected.worker-kill"] == 1
+        assert counters["worker.pool_respawns"] >= 1
+        assert stats["stream.arena_recovered"] >= 1
+        assert telemetry.spans_in(CAT_RECOVERY)
+
+    def test_crashed_worker_arena_is_unlinked(self):
+        if not HAVE_SHARED_MEMORY:
+            pytest.skip("no multiprocessing.shared_memory")
+        shm_dir = "/dev/shm"
+        if not os.path.isdir(shm_dir):
+            pytest.skip("no /dev/shm to observe")
+        sites = _sites(6, seed=59)
+        recovery = _recovery(
+            ForcedWorkerFault(chunk=0, attempt=0,
+                              kind=WorkerFaultKind.KILL),
+        )
+        before = set(os.listdir(shm_dir))
+        with StreamingEngine(EngineConfig(workers=2, batch=2),
+                             queue_depth=1, use_shmem=True,
+                             recovery=recovery) as stream:
+            stream.run_sites(sites)
+            assert stream.stream_stats["stream.arena_recovered"] >= 1
+        gc.collect()
+        leaked = set(os.listdir(shm_dir)) - before
+        assert not leaked, f"arenas leaked after worker crash: {leaked}"
+
+    def test_streamed_chaos_matches_barrier_and_serial_sam(self):
+        # The acceptance run: one fixed seed, >= 3 distinct fault kinds
+        # including SIGKILL of a live worker mid-chunk, on both engines;
+        # SAM output byte-identical to fault-free on each.
+        from repro.genomics.samlite import write_sam
+        from repro.genomics.simulate import SimulationProfile, simulate_sample
+        from repro.realign.realigner import IndelRealigner
+
+        sample = simulate_sample(
+            {"chr22": 9_000},
+            profile=SimulationProfile(coverage=16.0, indel_rate=1.5e-3),
+            seed=7,
+        )
+
+        def sam_with(engine):
+            reads, _report = IndelRealigner(
+                sample.reference, engine=engine
+            ).realign(sample.reads)
+            sink = io.StringIO()
+            write_sam(reads, sink, sample.reference)
+            return sink.getvalue()
+
+        want = sam_with(None)
+        faults = (
+            ForcedWorkerFault(chunk=1, attempt=0,
+                              kind=WorkerFaultKind.KILL),
+            ForcedWorkerFault(chunk=0, attempt=0,
+                              kind=WorkerFaultKind.ERROR),
+            ForcedWorkerFault(chunk=2, attempt=0,
+                              kind=WorkerFaultKind.DELAY),
+        )
+        config = EngineConfig(workers=2, batch=2)
+        telemetry = Telemetry()
+        with Engine(config, recovery=_recovery(*faults)) as engine:
+            barrier_sam = sam_with(engine)
+            barrier_counters = dict(engine.recovery_counters)
+        with StreamingEngine(config, queue_depth=1,
+                             recovery=_recovery(*faults)) as stream:
+            reads, _ = IndelRealigner(sample.reference,
+                                      engine=stream).realign(sample.reads)
+            sink = io.StringIO()
+            write_sam(reads, sink, sample.reference)
+            stream_sam = sink.getvalue()
+            stream_counters = dict(stream.recovery_counters)
+        assert barrier_sam == want
+        assert stream_sam == want
+        injected = {name for name in barrier_counters
+                    if name.startswith("worker.injected.")}
+        assert injected == {
+            "worker.injected.worker-kill",
+            "worker.injected.worker-error",
+            "worker.injected.worker-delay",
+        }
+        assert barrier_counters["worker.pool_respawns"] >= 1
+        assert stream_counters["worker.pool_respawns"] >= 1
+
+    def test_recovery_engine_works_across_runs(self):
+        # The resilient pool persists like the plain pool; state from an
+        # earlier run (same chunk ids!) must not contaminate the next.
+        sites_a = _sites(6, seed=61)
+        sites_b = _sites(6, seed=67)
+        recovery = _recovery(
+            ForcedWorkerFault(chunk=0, attempt=0,
+                              kind=WorkerFaultKind.ERROR),
+        )
+        with StreamingEngine(EngineConfig(workers=2, batch=2),
+                             queue_depth=1, recovery=recovery) as stream:
+            _assert_identical(stream.run_sites(sites_a),
+                              _serial_results(sites_a))
+            _assert_identical(stream.run_sites(sites_b),
+                              _serial_results(sites_b))
+
+
+class TestEnvDrivenRecovery:
+    def test_engine_picks_up_recovery_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_FAULT_RATE", "0.0")
+        monkeypatch.setenv("REPRO_CHUNK_DEADLINE", "20")
+        engine = Engine(EngineConfig(workers=2, batch=2))
+        try:
+            assert engine.recovery is not None
+            assert engine.recovery.chunk_deadline == 20.0
+        finally:
+            engine.close()
+
+    def test_engine_defaults_to_no_recovery(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKER_FAULT_RATE", raising=False)
+        monkeypatch.delenv("REPRO_CHUNK_DEADLINE", raising=False)
+        engine = Engine(EngineConfig(workers=2, batch=2))
+        try:
+            assert engine.recovery is None
+        finally:
+            engine.close()
+
+
+class TestShmemLifecycle:
+    def test_gc_reclaimed_arena_is_counted(self):
+        if not HAVE_SHARED_MEMORY:
+            pytest.skip("no multiprocessing.shared_memory")
+        drain_lifecycle_counters()
+        _descriptor, handle = pack_chunk(0, _sites(1, seed=71),
+                                         use_shmem=True)
+        del handle
+        gc.collect()
+        counters = drain_lifecycle_counters()
+        assert counters.get("shmem.arena_gc_reclaimed") == 1
+
+    def test_release_after_external_unlink_is_counted(self):
+        if not HAVE_SHARED_MEMORY:
+            pytest.skip("no multiprocessing.shared_memory")
+        drain_lifecycle_counters()
+        _descriptor, handle = pack_chunk(0, _sites(1, seed=73),
+                                         use_shmem=True)
+        handle._shm.unlink()  # someone else (a tracker) got there first
+        handle.release()
+        counters = drain_lifecycle_counters()
+        assert counters.get("shmem.unlink_missing") == 1
+
+    def test_clean_release_counts_nothing(self):
+        drain_lifecycle_counters()
+        _descriptor, handle = pack_chunk(0, _sites(1, seed=79),
+                                         use_shmem=True)
+        handle.release()
+        del handle
+        gc.collect()
+        assert drain_lifecycle_counters() == {}
+
+
+class TestPipelineShutdown:
+    def _sample(self):
+        from repro.genomics.simulate import SimulationProfile, simulate_sample
+
+        return simulate_sample(
+            {"1": 9_000},
+            profile=SimulationProfile(coverage=16.0, indel_rate=1e-3),
+            seed=17,
+        )
+
+    @staticmethod
+    def _refine_threads():
+        import threading
+
+        return [t for t in threading.enumerate()
+                if t.name.startswith("refine-")]
+
+    def test_keyboard_interrupt_joins_all_stage_threads(self, monkeypatch):
+        from repro.refinement import pipeline as pipeline_module
+        from repro.refinement.pipeline import StreamingRefinementPipeline
+
+        sample = self._sample()
+
+        def explode(*_args, **_kwargs):
+            raise KeyboardInterrupt()
+
+        # The drain loop (main thread) is where Ctrl-C lands; its first
+        # pileup merge raising must unwind every stage thread.
+        monkeypatch.setattr(pipeline_module, "merge_columns", explode)
+        pipeline = StreamingRefinementPipeline(sample.reference,
+                                               queue_depth=1)
+        with pytest.raises(KeyboardInterrupt):
+            pipeline.run(sample.reads)
+        assert self._refine_threads() == []
+
+    def test_stage_error_joins_all_stage_threads(self, monkeypatch):
+        from repro.refinement import pipeline as pipeline_module
+        from repro.refinement.pipeline import StreamingRefinementPipeline
+
+        sample = self._sample()
+
+        def explode(*_args, **_kwargs):
+            raise RuntimeError("injected stage failure")
+
+        monkeypatch.setattr(pipeline_module, "mark_duplicates", explode)
+        pipeline = StreamingRefinementPipeline(sample.reference,
+                                               queue_depth=1)
+        with pytest.raises(RuntimeError, match="injected stage failure"):
+            pipeline.run(sample.reads)
+        assert self._refine_threads() == []
