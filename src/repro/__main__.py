@@ -11,6 +11,10 @@ Commands:
 - ``all`` -- run every experiment in order.
 - ``simulate`` -- write a synthetic sample (FASTA + SAM) to a directory.
 - ``realign`` -- run the software INDEL realigner over a SAM file.
+- ``evaluate`` -- run an accuracy scenario (toy / cohort / adversarial)
+  through the before/after pipeline and print the outcome scorecard
+  (mismatch totals, concordance vs. truth, truth-INDEL F1); ``--out``
+  writes the full deterministic ``EvaluationReport`` JSON.
 - ``trace`` -- run a bench workload through the sync / async / recovery
   schedulers with telemetry on and write a Chrome ``trace_event`` file
   (open it at https://ui.perfetto.dev).
@@ -39,6 +43,8 @@ Examples::
         --chunk-deadline 5
     python -m repro trace --out /tmp/trace.json --fault-rate 0.1
     python -m repro trace --out /tmp/trace.json --workers 2 --stream
+    python -m repro evaluate --scenario adversarial --out /tmp/report.json
+    python -m repro evaluate --scenario cohort --workers 2 --stream
 """
 
 from __future__ import annotations
@@ -369,8 +375,59 @@ def _cmd_realign(args: argparse.Namespace) -> int:
         engine.close()
     write_sam(updated, args.out, reference)
     print(f"{report.targets_identified} targets, {report.sites_built} sites, "
-          f"{report.reads_realigned} reads realigned -> {args.out}")
+          f"{report.reads_realigned} reads realigned "
+          f"({report.reads_moved} moved) -> {args.out}")
     return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.evaluate import run_scenario
+    from repro.evaluate.scenarios import SCENARIO_NAMES
+
+    if args.workers < 1 or args.batch < 1:
+        print("error: --workers and --batch must be >= 1", file=sys.stderr)
+        return 2
+    if args.queue_depth < 1:
+        print("error: --queue-depth must be >= 1", file=sys.stderr)
+        return 2
+    error = _check_recovery_flags(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    _maybe_autotune(args)
+    engine = _make_engine(args)
+    try:
+        report = run_scenario(
+            args.scenario, engine=engine, kernel=args.kernel, seed=args.seed,
+        )
+    finally:
+        if hasattr(engine, "close"):
+            _print_recovery(engine)
+            engine.close()
+    if args.out is not None:
+        args.out.write_text(report.to_json())
+        print(f"report -> {args.out}")
+    print(report.summary())
+    totals = report.totals()
+    regressed = totals["mismatch_after"] > totals["mismatch_before"]
+    if regressed:
+        print("error: realignment INCREASED mismatch totals -- "
+              "accuracy regression", file=sys.stderr)
+    if args.check and not regressed:
+        # The same invariants the committed goldens gate on, runnable
+        # against any engine/kernel/recovery combination from the CLI.
+        moved = totals["reads_moved"]
+        improved = totals["mismatch_after"] < totals["mismatch_before"]
+        concordant = (totals["concordance_after"]
+                      >= totals["concordance_before"])
+        if moved and not improved:
+            print("error: reads moved but mismatch totals did not drop",
+                  file=sys.stderr)
+            regressed = True
+        if not concordant:
+            print("error: truth concordance regressed", file=sys.stderr)
+            regressed = True
+    return 1 if regressed else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -609,6 +666,29 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--fleet", type=int, default=0,
                        help="add a fleet session with this many instances")
     _add_engine_flags(trace)
+
+    evaluate = sub.add_parser(
+        "evaluate",
+        help="score realignment outcomes on a truth-bearing scenario",
+    )
+    evaluate.add_argument(
+        "--scenario", choices=("toy", "cohort", "adversarial"),
+        default="toy",
+        help="workload to evaluate (see docs/EVALUATION.md)",
+    )
+    evaluate.add_argument("--seed", type=int, default=None,
+                          help="override the scenario's pinned seed")
+    evaluate.add_argument("--out", type=_out_file, default=None,
+                          help="write the full EvaluationReport JSON here")
+    evaluate.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the accuracy invariants hold "
+             "(mismatches drop, concordance does not regress)",
+    )
+    evaluate.add_argument("--chaos-seed", type=int, default=1234,
+                          dest="chaos_seed",
+                          help="seed for the deterministic FaultPlan")
+    _add_engine_flags(evaluate)
     return parser
 
 
@@ -676,6 +756,8 @@ def main(argv=None) -> int:
         return _cmd_realign(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args)
     if not hasattr(args, "sites"):
         args.sites = 96
         args.replication = 24

@@ -501,4 +501,8 @@ class AcceleratedRealigner:
                     )
                     report.reads_realigned += 1
         updated = [updates.get(read.name, read) for read in reads]
+        for before, after in zip(reads, updated):
+            if (before.pos, str(before.cigar)) != (after.pos,
+                                                   str(after.cigar)):
+                report.reads_moved += 1
         return updated, run, report

@@ -1,0 +1,66 @@
+"""Accuracy evaluation: prove realignment *outcomes*, not byte-identity.
+
+The repo's other test layers pin that every kernel, engine, worker
+count, and fault schedule produces byte-identical SAM. This package
+answers the question those layers cannot: is the realignment *correct*?
+Given a seeded synthetic sample with known truth
+(:mod:`repro.genomics.simulate` records each read's
+:class:`~repro.genomics.simulate.TruthPlacement`), the harness runs the
+before/after pipeline and emits a structured
+:class:`~repro.evaluate.report.EvaluationReport`: mismatch totals
+before vs. after, reads moved, base-level concordance against truth
+placements, per-site deltas, and truth-INDEL precision/recall/F1 under
+left-normalized matching.
+
+Entry points:
+
+- ``python -m repro evaluate --scenario {toy,cohort,adversarial}`` --
+  the CLI front-end;
+- :func:`repro.evaluate.scenarios.run_scenario` -- the library call the
+  CLI, the goldens, and the accuracy-gate tests share;
+- :func:`repro.evaluate.harness.evaluate_sample` -- score one sample
+  with any engine/kernel.
+
+See ``docs/EVALUATION.md`` for metric definitions and the scenario
+catalog.
+"""
+
+from repro.evaluate.harness import (
+    cohort_trajectories,
+    evaluate_sample,
+    mismatch_totals,
+    read_mismatches,
+    truth_concordance,
+)
+from repro.evaluate.report import (
+    EvaluationReport,
+    IndelRecovery,
+    SampleEvaluation,
+    SiteOutcome,
+    TrajectoryOutcome,
+)
+from repro.evaluate.scenarios import (
+    DEFAULT_SEEDS,
+    SCENARIO_NAMES,
+    ScenarioData,
+    build_scenario,
+    run_scenario,
+)
+
+__all__ = [
+    "DEFAULT_SEEDS",
+    "EvaluationReport",
+    "IndelRecovery",
+    "SCENARIO_NAMES",
+    "SampleEvaluation",
+    "ScenarioData",
+    "SiteOutcome",
+    "TrajectoryOutcome",
+    "build_scenario",
+    "cohort_trajectories",
+    "evaluate_sample",
+    "mismatch_totals",
+    "read_mismatches",
+    "run_scenario",
+    "truth_concordance",
+]

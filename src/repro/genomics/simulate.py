@@ -27,7 +27,7 @@ three properties INDEL realignment performance and correctness depend on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -73,12 +73,41 @@ class SimulationProfile:
 
 
 @dataclass(frozen=True)
+class TruthPlacement:
+    """The alignment a read *should* have: its true position and CIGAR.
+
+    The simulator knows where every read came from and which variants it
+    carries, so it can record the gapped alignment a perfect aligner
+    would emit -- even for the reads it then deliberately misaligns.
+    The evaluation harness (:mod:`repro.evaluate`) scores realignment
+    outcomes against these placements base by base.
+    """
+
+    pos: int
+    cigar: str
+
+    def aligned_pairs(self) -> List[Tuple[int, int]]:
+        """``(read_offset, reference_position)`` for every true M base."""
+        return [
+            (read_offset, self.pos + ref_offset)
+            for read_offset, ref_offset in Cigar.parse(self.cigar).aligned_pairs()
+        ]
+
+
+@dataclass(frozen=True)
 class SimulatedSample:
-    """Output of a simulation run: aligned reads plus ground truth."""
+    """Output of a simulation run: aligned reads plus ground truth.
+
+    ``truth_placements`` maps each read name to the alignment the read
+    would have under a perfect aligner (:class:`TruthPlacement`); for
+    correctly-simulated reads it equals the emitted alignment, for
+    misaligned INDEL reads it is the gapped alignment IR should restore.
+    """
 
     reads: List[Read]
     truth_variants: List[Variant]
     reference: ReferenceGenome
+    truth_placements: Dict[str, TruthPlacement] = field(default_factory=dict)
 
 
 def plan_variants(
@@ -281,6 +310,7 @@ class ReadSimulator:
         if variants is None:
             variants = plan_variants(self.reference, self.profile, self.rng)
         reads: List[Read] = []
+        placements: Dict[str, TruthPlacement] = {}
         serial = 0
         for contig in self.reference:
             usable = len(contig) - self.profile.read_length
@@ -291,10 +321,15 @@ class ReadSimulator:
             )
             for _ in range(count):
                 start = self._sample_start(contig.name, usable)
-                reads.append(self._simulate_one(contig.name, start, variants, serial))
+                read, placement = self._simulate_one(
+                    contig.name, start, variants, serial
+                )
+                reads.append(read)
+                placements[read.name] = placement
                 serial += 1
         return SimulatedSample(reads=reads, truth_variants=list(variants),
-                               reference=self.reference)
+                               reference=self.reference,
+                               truth_placements=placements)
 
     def _simulate_one(
         self,
@@ -302,7 +337,7 @@ class ReadSimulator:
         start: int,
         variants: Sequence[Variant],
         serial: int,
-    ) -> Read:
+    ) -> Tuple[Read, TruthPlacement]:
         profile = self.profile
         window_end = start + profile.read_length + profile.max_indel_length + 1
         window_end = min(window_end, self.reference.length(chrom))
@@ -332,7 +367,7 @@ class ReadSimulator:
             pos = start
             cigar = true_cigar
             mapq = int(self.rng.integers(50, 61))
-        return Read(
+        read = Read(
             name=f"sim{serial:08d}",
             chrom=chrom,
             pos=pos,
@@ -342,6 +377,7 @@ class ReadSimulator:
             mapq=mapq,
             is_reverse=bool(self.rng.random() < 0.5),
         )
+        return read, TruthPlacement(pos=start, cigar=str(true_cigar))
 
 
 def simulate_sample(

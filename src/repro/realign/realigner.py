@@ -59,12 +59,20 @@ class SiteShape:
 
 @dataclass
 class RealignerReport:
-    """Aggregate statistics of one realignment run."""
+    """Aggregate statistics of one realignment run.
+
+    ``reads_realigned`` counts the kernel's realign decisions;
+    ``reads_moved`` counts the strict subset whose placement
+    ``(pos, cigar)`` actually changed -- a read the kernel re-confirms
+    at its input placement is realigned but not moved. The evaluation
+    harness (:mod:`repro.evaluate`) reports both.
+    """
 
     targets_identified: int = 0
     sites_built: int = 0
     reads_examined: int = 0
     reads_realigned: int = 0
+    reads_moved: int = 0
     unpruned_comparisons: int = 0
     site_shapes: List[SiteShape] = field(default_factory=list)
 
@@ -73,6 +81,7 @@ class RealignerReport:
         self.sites_built += other.sites_built
         self.reads_examined += other.reads_examined
         self.reads_realigned += other.reads_realigned
+        self.reads_moved += other.reads_moved
         self.unpruned_comparisons += other.unpruned_comparisons
         self.site_shapes.extend(other.site_shapes)
 
@@ -188,7 +197,7 @@ class IndelRealigner:
         return targets, windows
 
     def realign(
-        self, reads: Sequence[Read], telemetry=None
+        self, reads: Sequence[Read], telemetry=None, observer=None
     ) -> Tuple[List[Read], RealignerReport]:
         """Realign a read set; returns (updated reads, report).
 
@@ -199,6 +208,13 @@ class IndelRealigner:
         optional prefilter/memo/worker pool) instead of the per-site
         loop; the realigned reads are byte-identical either way.
         ``telemetry`` is forwarded to whichever kernel path runs.
+
+        ``observer``, when given, is called once per realigned site as
+        ``observer(window, result, moved)`` where ``moved`` maps each
+        repositioned read's name to its updated :class:`Read`. The
+        evaluation harness uses this hook to attribute before/after
+        outcome deltas to individual sites without re-deriving the
+        window decomposition.
         """
         targets, windows = self.build_sites(reads)
         report = RealignerReport(
@@ -224,12 +240,20 @@ class IndelRealigner:
             site = window.site
             report.unpruned_comparisons += site.unpruned_comparisons()
             report.site_shapes.append(SiteShape.from_site(site, result))
+            moved: Dict[str, Read] = {}
             for j, read in enumerate(window.reads):
                 if result.realign[j]:
-                    updates[read.name] = apply_realignment(
+                    updated_read = apply_realignment(
                         read, window, result.best_cons, int(result.new_pos[j])
                     )
+                    updates[read.name] = updated_read
                     report.reads_realigned += 1
+                    if (updated_read.pos != read.pos
+                            or str(updated_read.cigar) != str(read.cigar)):
+                        report.reads_moved += 1
+                        moved[read.name] = updated_read
+            if observer is not None:
+                observer(window, result, moved)
         updated = [updates.get(read.name, read) for read in reads]
         return updated, report
 

@@ -11,7 +11,11 @@ improves calls against the simulator's truth set.
 
 from repro.variants.caller import CallerConfig, SomaticCaller, VariantCall
 from repro.variants.vcf import format_vcf, parse_vcf
-from repro.variants.evaluation import EvaluationResult, evaluate_calls
+from repro.variants.evaluation import (
+    EvaluationResult,
+    evaluate_calls,
+    left_normalize,
+)
 
 __all__ = [
     "CallerConfig",
@@ -20,5 +24,6 @@ __all__ = [
     "VariantCall",
     "evaluate_calls",
     "format_vcf",
+    "left_normalize",
     "parse_vcf",
 ]

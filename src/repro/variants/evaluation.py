@@ -5,20 +5,31 @@ variants -- the quantitative form of the paper's motivation that IR
 "enables diagnostic testings of cancer through error correction prior to
 variant calling". The end-to-end example compares pipelines with and
 without INDEL realignment on exactly this metric.
+
+INDEL matching is *left-alignment normalized* when a reference is
+available: equivalent INDELs can be reported at different anchor
+positions (a one-base deletion in a homopolymer run is the classic
+case -- any anchor inside the run describes the same edit), and the very
+problem IR addresses is "inconsistent representations for equivalent
+sequence edits". :func:`left_normalize` shifts every INDEL to its
+leftmost (VCF-canonical) representation before comparing, so two
+descriptions of the same edit never count as one false negative plus
+one false positive. Without a reference the looser positional-tolerance
+match is used, preserving the historical behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
+from repro.genomics.reference import ReferenceGenome
 from repro.genomics.variants import Variant, VariantKind
 from repro.variants.caller import VariantCall
 
-#: Matching tolerance for INDEL positions: equivalent INDELs can be
-#: left- or right-aligned a few bases apart ("inconsistent
-#: representations for equivalent sequence edits" is the very problem
-#: IR addresses).
+#: Matching tolerance for INDEL positions when no reference is available
+#: for left-normalization: equivalent INDELs can be left- or
+#: right-aligned a few bases apart.
 INDEL_POSITION_TOLERANCE = 16
 
 
@@ -46,7 +57,44 @@ class EvaluationResult:
         return 2 * p * r / (p + r) if (p + r) else 0.0
 
 
-def _matches(call: VariantCall, variant: Variant) -> bool:
+def left_normalize(
+    chrom: str,
+    pos: int,
+    ref: str,
+    alt: str,
+    reference: ReferenceGenome,
+) -> Tuple[int, str, str]:
+    """Return the VCF-canonical leftmost representation of an allele pair.
+
+    The standard normalization (vt/bcftools ``norm``): repeatedly trim a
+    shared trailing base -- extending one base leftward from the
+    reference whenever an allele would become empty -- then trim shared
+    leading bases. Equivalent INDELs anchored anywhere inside a repeat
+    run collapse to one identical ``(pos, ref, alt)`` triple; SNPs are
+    returned unchanged.
+    """
+    if len(ref) == len(alt) == 1:
+        return pos, ref, alt
+    while True:
+        if ref and alt and ref[-1] == alt[-1] and (len(ref) > 1 or len(alt) > 1):
+            ref, alt = ref[:-1], alt[:-1]
+            if (not ref or not alt) and pos > 0:
+                pos -= 1
+                base = reference.fetch(chrom, pos, pos + 1)
+                ref, alt = base + ref, base + alt
+            continue
+        break
+    while len(ref) > 1 and len(alt) > 1 and ref[0] == alt[0]:
+        ref, alt = ref[1:], alt[1:]
+        pos += 1
+    return pos, ref, alt
+
+
+def _matches(
+    call: VariantCall,
+    variant: Variant,
+    reference: Optional[ReferenceGenome] = None,
+) -> bool:
     if call.chrom != variant.chrom:
         return False
     if variant.kind is VariantKind.SNP:
@@ -54,6 +102,12 @@ def _matches(call: VariantCall, variant: Variant) -> bool:
                 and call.alt == variant.alt)
     if call.kind is not variant.kind:
         return False
+    if reference is not None and call.chrom in reference:
+        return left_normalize(
+            call.chrom, call.pos, call.ref, call.alt, reference
+        ) == left_normalize(
+            variant.chrom, variant.pos, variant.ref, variant.alt, reference
+        )
     if abs(call.pos - variant.pos) > INDEL_POSITION_TOLERANCE:
         return False
     return abs(len(call.alt) - len(call.ref)) == abs(
@@ -64,8 +118,14 @@ def _matches(call: VariantCall, variant: Variant) -> bool:
 def evaluate_calls(
     calls: Sequence[VariantCall],
     truth: Sequence[Variant],
+    reference: Optional[ReferenceGenome] = None,
 ) -> EvaluationResult:
-    """Match calls to truth; each truth variant matches at most one call."""
+    """Match calls to truth; each truth variant matches at most one call.
+
+    With ``reference``, INDELs are compared by their left-normalized
+    ``(pos, ref, alt)`` triples (exact equivalence of the edit); without
+    it, by kind + length change within ``INDEL_POSITION_TOLERANCE``.
+    """
     result = EvaluationResult()
     matched_truth: Set[int] = set()
     for call in calls:
@@ -73,7 +133,7 @@ def evaluate_calls(
         for index, variant in enumerate(truth):
             if index in matched_truth:
                 continue
-            if _matches(call, variant):
+            if _matches(call, variant, reference):
                 hit = index
                 break
         if hit is None:

@@ -10,9 +10,24 @@ Without that dataset, the reproduction uses:
   shape distributions follow the paper's stated ranges ("a typical locus
   can contain 2-32 consensuses and 10-256 reads"), at full-scale and
   bench-scale profiles;
-- :mod:`repro.workloads.toy` -- the 8-target toy workload of Figure 7.
+- :mod:`repro.workloads.toy` -- the 8-target toy workload of Figure 7;
+- :mod:`repro.workloads.cohort` -- a longitudinal multi-sample cohort
+  with shared target loci and drifting allele-frequency trajectories
+  (hivwholeseq-style), for cross-sample determinism and
+  trajectory-recovery evaluation;
+- :mod:`repro.workloads.adversarial` -- seeded hostile-input corruption
+  (contaminant reads from the wrong sample, chimeric reads,
+  low-quality tails, adapter read-through) that stresses prefilter
+  soundness and realignment stability.
 """
 
+from repro.workloads.adversarial import (
+    AdversarialProfile,
+    AdversarialSample,
+    TRUSEQ_ADAPTER,
+    adversarial_sample,
+    corrupt_sample,
+)
 from repro.workloads.chromosomes import (
     CHROMOSOME_CENSUS,
     ChromosomeCensus,
@@ -27,18 +42,37 @@ from repro.workloads.generator import (
     expected_comparisons_per_site,
     synthesize_site,
 )
+from repro.workloads.cohort import (
+    Cohort,
+    CohortProfile,
+    CohortSample,
+    indel_support,
+    measured_frequency,
+    simulate_cohort,
+)
 from repro.workloads.toy import figure7_toy_targets
 
 __all__ = [
+    "AdversarialProfile",
+    "AdversarialSample",
     "BENCH_PROFILE",
     "CHROMOSOME_CENSUS",
+    "Cohort",
+    "CohortProfile",
+    "CohortSample",
     "ChromosomeCensus",
     "REAL_PROFILE",
     "SiteProfile",
+    "TRUSEQ_ADAPTER",
+    "adversarial_sample",
     "census_for",
     "chromosome_workload",
+    "corrupt_sample",
     "expected_comparisons_per_site",
     "figure7_toy_targets",
+    "indel_support",
+    "measured_frequency",
+    "simulate_cohort",
     "synthesize_site",
     "total_targets",
 ]

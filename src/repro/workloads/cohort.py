@@ -1,0 +1,187 @@
+"""Longitudinal multi-sample cohort workload.
+
+Modelled after hivwholeseq's allele-frequency-trajectory analysis: one
+patient (one reference, one shared set of variant loci) sequenced at
+several timepoints, with each variant's allele fraction drifting over
+time. Realignment runs per sample against the *shared* target loci; the
+cohort-level questions the evaluation harness answers are
+
+- do measured INDEL allele frequencies track the simulated trajectories
+  better *after* realignment than before (misaligned INDEL reads are
+  gap-free, so pre-IR pileups systematically undercount the allele)?
+- is realignment deterministic across samples -- same loci, same
+  engine, byte-identical per-sample output regardless of which other
+  samples ran beside it?
+
+Everything is seeded: the reference, the shared variant plan, each
+trajectory, and each per-timepoint read simulation derive from the
+cohort seed, so a cohort is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.genomics.cigar import CigarOp
+from repro.genomics.read import Read
+from repro.genomics.reference import ReferenceGenome
+from repro.genomics.simulate import (
+    ReadSimulator,
+    SimulatedSample,
+    SimulationProfile,
+    plan_variants,
+)
+from repro.genomics.variants import Variant, VariantKind
+
+
+@dataclass(frozen=True)
+class CohortProfile:
+    """Shape of a longitudinal cohort."""
+
+    timepoints: int = 3
+    fraction_floor: float = 0.3   # allele fraction at the first timepoint
+    fraction_ceiling: float = 0.95
+    drift: str = "rising"  # "rising" | "falling" | "mixed"
+
+    def __post_init__(self) -> None:
+        if self.timepoints < 1:
+            raise ValueError("a cohort needs at least one timepoint")
+        if not 0.0 < self.fraction_floor < self.fraction_ceiling <= 1.0:
+            raise ValueError("need 0 < fraction_floor < fraction_ceiling <= 1")
+        if self.drift not in ("rising", "falling", "mixed"):
+            raise ValueError(f"unknown drift {self.drift!r}")
+
+
+@dataclass(frozen=True)
+class CohortSample:
+    """One timepoint's sample."""
+
+    name: str
+    timepoint: int
+    sample: SimulatedSample
+
+
+@dataclass(frozen=True)
+class Cohort:
+    """A longitudinal cohort: shared reference + loci, per-time samples.
+
+    ``trajectories`` maps each shared variant (keyed by
+    ``(chrom, pos, ref, alt)``) to its simulated allele fraction at each
+    timepoint, in timepoint order.
+    """
+
+    reference: ReferenceGenome
+    shared_variants: List[Variant]
+    samples: List[CohortSample]
+    trajectories: Dict[Tuple[str, int, str, str], Tuple[float, ...]] = field(
+        default_factory=dict
+    )
+
+    def variants_at(self, timepoint: int) -> List[Variant]:
+        """The shared variants with that timepoint's allele fractions."""
+        out = []
+        for variant in self.shared_variants:
+            key = (variant.chrom, variant.pos, variant.ref, variant.alt)
+            out.append(replace(
+                variant, allele_fraction=self.trajectories[key][timepoint]
+            ))
+        return out
+
+
+def _trajectory(profile: CohortProfile, rng: np.random.Generator
+                ) -> Tuple[float, ...]:
+    """One variant's allele-fraction path across the timepoints."""
+    low = float(rng.uniform(profile.fraction_floor,
+                            (profile.fraction_floor
+                             + profile.fraction_ceiling) / 2))
+    high = float(rng.uniform(low, profile.fraction_ceiling))
+    if profile.drift == "falling" or (
+        profile.drift == "mixed" and rng.random() < 0.5
+    ):
+        low, high = high, low
+    if profile.timepoints == 1:
+        return (round(low, 4),)
+    steps = np.linspace(low, high, profile.timepoints)
+    return tuple(round(float(s), 4) for s in steps)
+
+
+def simulate_cohort(
+    contig_lengths,
+    cohort_profile: Optional[CohortProfile] = None,
+    sim_profile: Optional[SimulationProfile] = None,
+    seed: int = 0,
+) -> Cohort:
+    """Simulate a longitudinal cohort over one shared reference.
+
+    The variant *loci* are planned once and shared by every timepoint
+    (the cohort's realignment targets are identical across samples);
+    only the allele fractions move along the per-variant trajectories.
+    """
+    cohort_profile = cohort_profile or CohortProfile()
+    sim_profile = sim_profile or SimulationProfile()
+    rng = np.random.default_rng(seed)
+    reference = ReferenceGenome.random(contig_lengths, rng)
+    shared = plan_variants(reference, sim_profile, rng)
+    trajectories: Dict[Tuple[str, int, str, str], Tuple[float, ...]] = {}
+    for variant in shared:
+        key = (variant.chrom, variant.pos, variant.ref, variant.alt)
+        trajectories[key] = _trajectory(cohort_profile, rng)
+    cohort = Cohort(reference=reference, shared_variants=shared,
+                    samples=[], trajectories=trajectories)
+    samples: List[CohortSample] = []
+    for timepoint in range(cohort_profile.timepoints):
+        simulator = ReadSimulator(reference, sim_profile,
+                                  seed=seed + 1000 * (timepoint + 1))
+        sample = simulator.simulate(cohort.variants_at(timepoint))
+        samples.append(CohortSample(
+            name=f"t{timepoint}", timepoint=timepoint, sample=sample,
+        ))
+    return Cohort(reference=reference, shared_variants=shared,
+                  samples=samples, trajectories=trajectories)
+
+
+def indel_support(
+    reads: Sequence[Read],
+    variant: Variant,
+    tolerance: int = 4,
+) -> Tuple[int, int]:
+    """``(supporting_reads, depth)`` for one truth INDEL.
+
+    A read supports the INDEL when its CIGAR carries an I/D of the same
+    kind and absolute length change within ``tolerance`` bases of the
+    variant's anchor. Depth counts mapped, non-duplicate reads whose
+    alignment spans the anchor position.
+    """
+    want_op = (CigarOp.INSERTION if variant.kind is VariantKind.INSERTION
+               else CigarOp.DELETION)
+    change = abs(variant.length_change)
+    support = 0
+    depth = 0
+    for read in reads:
+        if not read.is_mapped or read.is_duplicate:
+            continue
+        if read.chrom != variant.chrom:
+            continue
+        if not read.overlaps(variant.pos, variant.pos + variant.ref_span):
+            continue
+        depth += 1
+        for ref_offset, op, length in read.cigar.indels():
+            if op is not want_op or length != change:
+                continue
+            # The I/D element sits one base after the VCF anchor.
+            anchor = read.pos + ref_offset - 1
+            if abs(anchor - variant.pos) <= tolerance:
+                support += 1
+                break
+    return support, depth
+
+
+def measured_frequency(
+    reads: Sequence[Read], variant: Variant, tolerance: int = 4
+) -> float:
+    """The measured allele frequency of one truth INDEL in a read set."""
+    support, depth = indel_support(reads, variant, tolerance)
+    return support / depth if depth else 0.0

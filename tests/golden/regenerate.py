@@ -92,10 +92,28 @@ def site_results_golden() -> dict:
     return {"seed": SITE_SEED, "sites": entries}
 
 
+def evaluation_golden(scenario: str) -> dict:
+    """The full :class:`EvaluationReport` for one accuracy scenario.
+
+    Pins realignment *outcomes* -- mismatch totals before/after,
+    truth concordance, truth-INDEL precision/recall, per-site deltas --
+    at the scenario's default seed. Score-identical across kernels,
+    engines, worker counts, and fault schedules by construction, so a
+    drift here means the realigner's behaviour changed, not its
+    scheduling.
+    """
+    from repro.evaluate import run_scenario
+
+    return run_scenario(scenario).to_dict()
+
+
 def main() -> None:
     targets = {
         "realigned_sam.json": realigned_sam_golden(),
         "site_results.json": site_results_golden(),
+        "evaluation_toy.json": evaluation_golden("toy"),
+        "evaluation_cohort.json": evaluation_golden("cohort"),
+        "evaluation_adversarial.json": evaluation_golden("adversarial"),
     }
     for name, payload in targets.items():
         path = GOLDEN_DIR / name

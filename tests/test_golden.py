@@ -27,6 +27,7 @@ from regenerate import (  # noqa: E402  (needs the path hack above)
     REALIGN_PARAMS,
     SITE_COMPLEXITIES,
     SITE_SEED,
+    evaluation_golden,
     realigned_sam_golden,
     site_results_golden,
 )
@@ -253,6 +254,48 @@ class TestEngineMatchesGolden:
             )
             assert result.realign.tolist() == want["realign"]
             assert result.new_pos.tolist() == want["new_pos"]
+
+
+class TestEvaluationGoldens:
+    """The accuracy scenarios' EvaluationReports, pinned end to end.
+
+    These recompute the full before/after scorecard -- mismatch totals,
+    truth concordance, truth-INDEL precision/recall, per-site deltas,
+    cohort trajectories -- and compare every field against the committed
+    JSON. Unlike the SAM goldens, a drift here names the *outcome* that
+    changed, so an accuracy regression reads as one."""
+
+    SCENARIOS = ("toy", "cohort", "adversarial")
+
+    @pytest.fixture(scope="class", params=SCENARIOS)
+    def pair(self, request):
+        scenario = request.param
+        return (scenario, evaluation_golden(scenario),
+                _load(f"evaluation_{scenario}.json"))
+
+    def test_report_matches_golden(self, pair):
+        scenario, recomputed, golden = pair
+        assert recomputed.keys() == golden.keys(), (
+            f"evaluation[{scenario}] report shape drifted: golden keys "
+            f"{sorted(golden)}, got {sorted(recomputed)}. {REGEN_HINT}"
+        )
+        for key in golden:
+            assert recomputed[key] == golden[key], (
+                f"evaluation[{scenario}].{key} drifted from the golden. "
+                f"{REGEN_HINT}"
+            )
+
+    def test_golden_itself_proves_realignment_helped(self, pair):
+        """The committed artifact must prove the point itself: strictly
+        fewer mismatches, no concordance regression, on every scenario."""
+        scenario, _recomputed, golden = pair
+        totals = golden["totals"]
+        assert totals["mismatch_after"] < totals["mismatch_before"], (
+            f"evaluation[{scenario}] golden does not show a mismatch "
+            f"improvement -- the scenario no longer exercises realignment"
+        )
+        assert totals["concordance_after"] >= totals["concordance_before"]
+        assert totals["reads_moved"] > 0
 
 
 class TestSiteResultGolden:

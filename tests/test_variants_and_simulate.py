@@ -123,3 +123,50 @@ class TestSimulator:
                                                          coverage=20), seed=1)
         sample = simulator.simulate([variant])
         assert sample.truth_variants == [variant]
+
+
+class TestTruthPlacements:
+    """The simulator records the alignment a perfect aligner would emit."""
+
+    def test_every_read_has_a_placement(self):
+        sample = simulate_sample({"1": 10_000}, seed=21)
+        assert set(sample.truth_placements) == {
+            read.name for read in sample.reads
+        }
+
+    def test_correctly_aligned_reads_match_their_placement(self):
+        profile = SimulationProfile(
+            indel_rate=2e-3, coverage=20, aligner_indel_accuracy=1.0,
+        )
+        sample = simulate_sample({"1": 15_000}, profile=profile, seed=22)
+        for read in sample.reads:
+            placement = sample.truth_placements[read.name]
+            assert (read.pos, str(read.cigar)) == (
+                placement.pos, placement.cigar
+            )
+
+    def test_misaligned_reads_keep_gapped_truth(self):
+        profile = SimulationProfile(
+            indel_rate=2e-3, coverage=30, aligner_indel_accuracy=0.0,
+        )
+        sample = simulate_sample({"1": 20_000}, profile=profile, seed=23)
+        gapped_truth = [
+            read for read in sample.reads
+            if not read.has_indel
+            and any(op in sample.truth_placements[read.name].cigar
+                    for op in "ID")
+        ]
+        assert gapped_truth, "expected misaligned reads with gapped truth"
+        for read in gapped_truth:
+            placement = sample.truth_placements[read.name]
+            # The emitted alignment absorbed the INDEL gap-free; the
+            # truth placement still carries it.
+            assert str(read.cigar) != placement.cigar
+
+    def test_placement_aligned_pairs_use_reference_coordinates(self):
+        from repro.genomics.simulate import TruthPlacement
+
+        placement = TruthPlacement(pos=100, cigar="3M2D2M")
+        assert placement.aligned_pairs() == [
+            (0, 100), (1, 101), (2, 102), (3, 105), (4, 106),
+        ]

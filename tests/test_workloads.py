@@ -22,6 +22,17 @@ from repro.workloads.generator import (
     expected_comparisons_per_site,
     synthesize_site,
 )
+from repro.genomics.simulate import SimulationProfile
+from repro.workloads.adversarial import (
+    TRUSEQ_ADAPTER,
+    AdversarialProfile,
+    adversarial_sample,
+)
+from repro.workloads.cohort import (
+    CohortProfile,
+    indel_support,
+    simulate_cohort,
+)
 from repro.workloads.toy import (
     NUM_CONSENSUSES,
     NUM_READS,
@@ -126,3 +137,116 @@ class TestToyWorkload:
         # Paper: "about 8 times"; same-sized targets throughout.
         assert 6.0 <= ratio <= 10.0
         assert max(cycles) == cycles[3]
+
+
+class TestCohortWorkload:
+    CONTIGS = {"chrT": 4_000}
+    PROFILE = SimulationProfile(coverage=10.0, indel_rate=2e-3)
+
+    def _cohort(self, seed=5, **kwargs):
+        return simulate_cohort(
+            self.CONTIGS,
+            cohort_profile=CohortProfile(**kwargs),
+            sim_profile=self.PROFILE,
+            seed=seed,
+        )
+
+    def test_samples_share_reference_and_loci(self):
+        cohort = self._cohort()
+        assert len(cohort.samples) == 3
+        for entry in cohort.samples:
+            assert entry.sample.reference is cohort.reference
+            # Same loci at every timepoint: only fractions differ.
+            assert ([(v.chrom, v.pos, v.ref, v.alt)
+                     for v in entry.sample.truth_variants]
+                    == [(v.chrom, v.pos, v.ref, v.alt)
+                        for v in cohort.shared_variants])
+
+    def test_trajectories_cover_every_variant_and_drift(self):
+        cohort = self._cohort(drift="rising")
+        assert len(cohort.trajectories) == len(cohort.shared_variants)
+        for path in cohort.trajectories.values():
+            assert len(path) == 3
+            assert all(0.0 < f <= 1.0 for f in path)
+            assert path[0] <= path[-1]  # rising drift
+        falling = self._cohort(drift="falling")
+        for path in falling.trajectories.values():
+            assert path[0] >= path[-1]
+
+    def test_variants_at_applies_trajectory_fractions(self):
+        cohort = self._cohort()
+        for timepoint in range(3):
+            for variant in cohort.variants_at(timepoint):
+                key = (variant.chrom, variant.pos, variant.ref, variant.alt)
+                assert variant.allele_fraction == (
+                    cohort.trajectories[key][timepoint]
+                )
+
+    def test_cohort_is_deterministic_by_seed(self):
+        a = self._cohort(seed=8)
+        b = self._cohort(seed=8)
+        assert a.trajectories == b.trajectories
+        for sa, sb in zip(a.samples, b.samples):
+            assert ([(r.name, r.pos, r.seq) for r in sa.sample.reads]
+                    == [(r.name, r.pos, r.seq) for r in sb.sample.reads])
+        different = self._cohort(seed=9)
+        assert different.trajectories != a.trajectories
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            CohortProfile(timepoints=0)
+        with pytest.raises(ValueError):
+            CohortProfile(fraction_floor=0.9, fraction_ceiling=0.5)
+        with pytest.raises(ValueError):
+            CohortProfile(drift="sideways")
+
+    def test_indel_support_counts_gapped_reads(self):
+        cohort = self._cohort(seed=12)
+        indels = [v for v in cohort.shared_variants if v.is_indel]
+        assert indels, "cohort plan produced no INDELs; pick another seed"
+        reads = cohort.samples[-1].sample.reads
+        for variant in indels:
+            support, depth = indel_support(reads, variant)
+            assert 0 <= support <= depth
+
+
+class TestAdversarialWorkload:
+    def test_sample_contains_every_corruption_kind(self):
+        hostile = adversarial_sample(
+            {"chrA": 5_000, "chrB": 3_000},
+            sim_profile=SimulationProfile(coverage=14.0, indel_rate=1.5e-3),
+            seed=3,
+        )
+        for kind in ("contaminant", "chimera", "low_quality_tail",
+                     "adapter"):
+            assert hostile.counts.get(kind, 0) > 0, f"no {kind} injected"
+        names = {read.name for read in hostile.sample.reads}
+        assert set(hostile.labels) <= names
+        assert set(hostile.clean_read_names) == names - set(hostile.labels)
+
+    def test_corrupted_reads_stay_structurally_valid(self):
+        hostile = adversarial_sample({"chrA": 4_000}, seed=4)
+        for read in hostile.sample.reads:
+            assert read.is_mapped
+            assert read.cigar.read_length == len(read)
+            assert read.end <= len(next(iter(hostile.sample.reference)))
+
+    def test_adapter_read_through_plants_the_adapter(self):
+        hostile = adversarial_sample({"chrA": 6_000}, seed=3)
+        adapters = [read for read in hostile.sample.reads
+                    if hostile.labels.get(read.name) == ("adapter",)]
+        assert adapters
+        for read in adapters:
+            assert read.seq.endswith(TRUSEQ_ADAPTER[: len(read)])
+
+    def test_low_quality_tails_are_floored(self):
+        profile = AdversarialProfile(low_quality_tail_rate=0.5,
+                                     chimera_rate=0.0, adapter_rate=0.0,
+                                     contamination_rate=0.0)
+        hostile = adversarial_sample({"chrA": 4_000},
+                                     adv_profile=profile, seed=6)
+        tails = [read for read in hostile.sample.reads
+                 if hostile.labels.get(read.name) == ("low_quality_tail",)]
+        assert tails
+        for read in tails:
+            assert int(read.quals[-1]) == profile.tail_quality
