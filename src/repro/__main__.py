@@ -18,6 +18,17 @@ Commands:
 - ``trace`` -- run a bench workload through the sync / async / recovery
   schedulers with telemetry on and write a Chrome ``trace_event`` file
   (open it at https://ui.perfetto.dev).
+- ``serve`` -- run the realignment service: an asyncio TCP server with
+  request coalescing, admission control, deadlines, and latency
+  telemetry over any engine configuration (docs/SERVING.md).
+- ``loadgen`` -- drive a seeded many-tenant load against a running
+  server (or ``--selftest`` an in-process one) and report latency
+  percentiles, rejections, and byte-identity vs. the batch realigner.
+
+The full command table lives in the ``--help`` epilog (generated from
+``COMMANDS`` below) and in ``docs/CLI.md``; a test keeps all three in
+sync, so a new subcommand cannot silently go undocumented again the way
+``evaluate`` originally did.
 
 Output paths are validated when arguments are parsed, not at the end of
 the run: a ``realign`` over a large SAM fails in milliseconds -- not
@@ -45,6 +56,11 @@ Examples::
     python -m repro trace --out /tmp/trace.json --workers 2 --stream
     python -m repro evaluate --scenario adversarial --out /tmp/report.json
     python -m repro evaluate --scenario cohort --workers 2 --stream
+    python -m repro serve --reference /tmp/sample/reference.fa --port 8765
+    python -m repro loadgen --host 127.0.0.1 --port 8765 \
+        --reference /tmp/sample/reference.fa --sam /tmp/sample/aligned.sam \
+        --tenants 4 --time-scale 0
+    python -m repro loadgen --selftest --length 9000 --tenants 3
 """
 
 from __future__ import annotations
@@ -53,6 +69,44 @@ import argparse
 import os
 import sys
 from pathlib import Path
+
+#: Every subcommand with its one-line description. This single table
+#: feeds the subparser ``help=`` strings, the ``--help`` epilog, and
+#: the generated reference in ``docs/CLI.md``
+#: (``tests/test_cli_reference.py`` keeps them in sync) -- so adding a
+#: subcommand without documenting it is a test failure, not a silent
+#: omission.
+COMMANDS = {
+    "figure2": "roofline: WHD arithmetic intensity vs. the F1 ceilings",
+    "figure3": "kernel microbenchmark: cycles per WHD cell vs. the paper",
+    "figure4": "the paper's worked WHD example, end to end",
+    "figure7": "speedup vs. software GATK across chromosome workloads",
+    "figure9": "fleet cost/latency frontier for the cloud deployment",
+    "tables": "the paper's configuration and result tables",
+    "appendix": "appendix experiments (sensitivity sweeps)",
+    "microarch": "PE microarchitecture model: occupancy and stalls",
+    "comparisons": "cross-system comparisons (CPU / FPGA / cloud)",
+    "all": "run every experiment in order",
+    "resilience": "chaos sweep: modelled speedup vs. injected fault rate",
+    "simulate": "write a synthetic sample (FASTA + SAM + truth) to a dir",
+    "realign": "run the INDEL realigner over a SAM file (batch)",
+    "trace": "record sync/async/recovery telemetry to a Chrome trace",
+    "evaluate": "score realignment outcomes on a truth-bearing scenario",
+    "serve": "serve realignment over TCP: coalescing, admission control, "
+             "latency telemetry",
+    "loadgen": "drive a seeded many-tenant load against a server "
+               "(or --selftest)",
+}
+
+
+def _epilog() -> str:
+    width = max(len(name) for name in COMMANDS)
+    lines = [f"  {name.ljust(width)}  {text}"
+             for name, text in COMMANDS.items()]
+    return "commands:\n" + "\n".join(lines) + (
+        "\n\nsee docs/CLI.md for the full reference, docs/SERVING.md "
+        "for serve/loadgen."
+    )
 
 
 def _out_file(value: str) -> Path:
@@ -582,25 +636,222 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if matched else 1
 
 
+def _engine_flag_errors(args: argparse.Namespace):
+    """Shared validation for the engine-flag block; error string or None."""
+    if args.workers < 1 or args.batch < 1:
+        return "error: --workers and --batch must be >= 1"
+    if args.queue_depth < 1:
+        return "error: --queue-depth must be >= 1"
+    return _check_recovery_flags(args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.genomics.fasta import read_reference
+    from repro.serve.request import ServiceConfig
+    from repro.serve.server import RealignmentServer
+
+    error = _engine_flag_errors(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        service_config = ServiceConfig(
+            max_queue_sites=args.max_queue_sites,
+            max_tenant_sites=args.max_tenant_sites,
+            coalesce_sites=args.coalesce_sites,
+            coalesce_wait_ms=args.coalesce_wait_ms,
+            admission=args.admission,
+            default_deadline_s=args.deadline_s,
+        )
+    except ValueError as bad:
+        print(f"error: {bad}", file=sys.stderr)
+        return 2
+    _maybe_autotune(args)
+    reference = read_reference(args.reference)
+    engine = _make_engine(args)
+
+    async def run() -> int:
+        server = RealignmentServer(reference, engine=engine,
+                                   service_config=service_config)
+        host, port = await server.start(args.host, args.port)
+        if args.canary:
+            verdict = await server.run_canary()
+            status = "ok" if verdict["ok"] else "FAILED"
+            print(f"canary [{verdict['scenario']}]: {status} "
+                  f"({verdict['reads_moved']} reads moved, mismatches "
+                  f"{verdict['mismatch_before']} -> "
+                  f"{verdict['mismatch_after']})")
+            if not verdict["ok"]:
+                print("error: serving-path canary failed -- refusing to "
+                      "serve", file=sys.stderr)
+                await server.close()
+                return 1
+        print(f"serving on {host}:{port} "
+              f"(admission={service_config.admission}, "
+              f"limit={service_config.max_queue_sites} sites, "
+              f"coalesce={service_config.coalesce_sites} sites / "
+              f"{service_config.coalesce_wait_ms:g}ms); "
+              f"Ctrl-C or a shutdown op to stop", flush=True)
+        try:
+            await server.serve_until_shutdown()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            await server.close()
+        print(f"serve: {server.service.snapshot().describe()}")
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        if hasattr(engine, "close"):
+            _print_recovery(engine)
+            engine.close()
+
+
+def _loadgen_inputs(args: argparse.Namespace):
+    """The (reference, reads) a loadgen run partitions into jobs."""
+    from repro.genomics.fasta import read_reference
+    from repro.genomics.samlite import read_sam
+    from repro.genomics.simulate import SimulationProfile, simulate_sample
+
+    if args.sam is not None:
+        if args.reference is None:
+            raise ValueError("--sam requires --reference")
+        return read_reference(args.reference), read_sam(args.sam)
+    profile = SimulationProfile(coverage=args.coverage)
+    sample = simulate_sample({"chrL": args.length}, profile=profile,
+                             seed=args.seed)
+    return sample.reference, sample.reads
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.genomics.samlite import format_read, write_sam
+    from repro.serve.loadgen import run_loadgen, simulate_load
+    from repro.workloads.serving import LoadProfile
+
+    try:
+        profile = LoadProfile(
+            tenants=args.tenants,
+            requests_per_tenant=args.requests_per_tenant,
+            mean_interarrival_s=args.mean_interarrival_ms / 1e3,
+            deadline_s=args.deadline_s,
+            preempt_rate=args.preempt_rate,
+        )
+        reference, reads = _loadgen_inputs(args)
+    except ValueError as bad:
+        print(f"error: {bad}", file=sys.stderr)
+        return 2
+
+    if args.dry_run:
+        from repro.realign.realigner import IndelRealigner
+        from repro.serve.jobs import partition_jobs
+
+        realigner = IndelRealigner(reference)
+        job_sites = [len(realigner.build_sites(job.reads)[1])
+                     for job in partition_jobs(reads, reference)]
+        report = simulate_load(profile, job_sites, seed=args.seed)
+        print(report.summary())
+        if args.json_out is not None:
+            args.json_out.write_text(report.to_json())
+            print(f"report -> {args.json_out}")
+        return 0
+
+    async def drive(host: str, port: int):
+        updated, report = await run_loadgen(
+            host, port, reads, reference, profile=profile,
+            seed=args.seed, time_scale=args.time_scale,
+        )
+        if args.shutdown:
+            from repro.serve.client import ServiceClient
+
+            client = await ServiceClient.open(host, port)
+            await client.shutdown()
+            await client.close()
+        return updated, report
+
+    if args.selftest:
+        error = _engine_flag_errors(args)
+        if error is not None:
+            print(error, file=sys.stderr)
+            return 2
+        from repro.realign.realigner import IndelRealigner
+        from repro.serve.server import RealignmentServer
+
+        engine = _make_engine(args)
+
+        async def selftest():
+            server = RealignmentServer(reference, engine=engine)
+            host, port = await server.start(port=0)
+            try:
+                return await drive(host, port)
+            finally:
+                await server.close()
+
+        try:
+            updated, report = asyncio.run(selftest())
+        finally:
+            if hasattr(engine, "close"):
+                engine.close()
+        expected, _ = IndelRealigner(reference).realign(reads)
+        identical = ([format_read(r) for r in updated]
+                     == [format_read(r) for r in expected])
+        print(report.summary())
+        print(f"selftest: served output is "
+              f"{'byte-identical' if identical else 'DIVERGENT'} "
+              f"vs. the batch realigner ({len(updated)} reads)")
+        if args.json_out is not None:
+            args.json_out.write_text(report.to_json())
+        if not identical:
+            return 1
+    else:
+        updated, report = asyncio.run(drive(args.host, args.port))
+        print(report.summary())
+        if args.json_out is not None:
+            args.json_out.write_text(report.to_json())
+            print(f"report -> {args.json_out}")
+
+    if args.out is not None:
+        write_sam(updated, args.out, reference)
+        print(f"{len(updated)} reads -> {args.out}")
+    if args.compare is not None:
+        from repro.genomics.samlite import read_sam
+
+        expected_lines = [format_read(r) for r in read_sam(args.compare)]
+        got_lines = [format_read(r) for r in updated]
+        if got_lines != expected_lines:
+            print(f"error: served output diverges from {args.compare}",
+                  file=sys.stderr)
+            return 1
+        print(f"served output matches {args.compare} "
+              f"({len(got_lines)} reads)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="HPCA'19 FPGA INDEL realignment reproduction driver",
+        epilog=_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     for name in ("figure2", "figure3", "figure4", "figure7", "tables",
                  "appendix", "microarch", "comparisons", "all"):
-        sub.add_parser(name, help=f"run the {name} experiment")
-    figure9_parser = sub.add_parser("figure9", help="run the figure9 experiment")
+        sub.add_parser(name, help=COMMANDS[name])
+    figure9_parser = sub.add_parser("figure9", help=COMMANDS["figure9"])
     figure9_parser.add_argument("--sites", type=int, default=96,
                                 help="sites per chromosome")
     figure9_parser.add_argument("--replication", type=int, default=24,
                                 help="schedule replication rounds")
 
     resilience_parser = sub.add_parser(
-        "resilience",
-        help="chaos sweep: speedup vs. injected fault rate",
+        "resilience", help=COMMANDS["resilience"],
     )
     resilience_parser.add_argument(
         "--fault-rate", type=float, action="append", dest="fault_rate",
@@ -617,7 +868,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome trace of the sweep (one session per rate)",
     )
 
-    simulate = sub.add_parser("simulate", help="write a synthetic sample")
+    simulate = sub.add_parser("simulate", help=COMMANDS["simulate"])
     simulate.add_argument("--out", required=True, type=_out_dir)
     simulate.add_argument("--contig", default="chr22")
     simulate.add_argument("--length", type=int, default=30_000)
@@ -625,7 +876,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--indel-rate", type=float, default=8e-4)
     simulate.add_argument("--seed", type=int, default=0)
 
-    realign = sub.add_parser("realign", help="realign a SAM file")
+    realign = sub.add_parser("realign", help=COMMANDS["realign"])
     realign.add_argument("--reference", required=True)
     realign.add_argument("--sam", required=True)
     realign.add_argument("--out", required=True, type=_out_file)
@@ -646,8 +897,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flags(realign)
 
     trace = sub.add_parser(
-        "trace",
-        help="record sync/async/recovery telemetry to a Chrome trace",
+        "trace", help=COMMANDS["trace"],
     )
     trace.add_argument("--out", required=True, type=_out_file,
                        help="trace_event JSON file to write")
@@ -668,8 +918,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flags(trace)
 
     evaluate = sub.add_parser(
-        "evaluate",
-        help="score realignment outcomes on a truth-bearing scenario",
+        "evaluate", help=COMMANDS["evaluate"],
     )
     evaluate.add_argument(
         "--scenario", choices=("toy", "cohort", "adversarial"),
@@ -689,6 +938,93 @@ def build_parser() -> argparse.ArgumentParser:
                           dest="chaos_seed",
                           help="seed for the deterministic FaultPlan")
     _add_engine_flags(evaluate)
+
+    serve = sub.add_parser("serve", help=COMMANDS["serve"])
+    serve.add_argument("--reference", required=True,
+                       help="reference FASTA the server realigns against")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 = pick an ephemeral port)")
+    serve.add_argument("--max-queue-sites", type=int, default=512,
+                       dest="max_queue_sites",
+                       help="admission limit on outstanding sites")
+    serve.add_argument("--max-tenant-sites", type=int, default=None,
+                       dest="max_tenant_sites",
+                       help="per-tenant outstanding-site cap (fairness)")
+    serve.add_argument("--coalesce-sites", type=int, default=32,
+                       dest="coalesce_sites",
+                       help="dispatch an engine batch at this many sites")
+    serve.add_argument("--coalesce-wait-ms", type=float, default=2.0,
+                       dest="coalesce_wait_ms",
+                       help="max linger before dispatching a partial batch")
+    serve.add_argument("--admission", choices=("reject", "queue"),
+                       default="reject",
+                       help="over-limit submissions: reject now, or park "
+                            "until room frees (deadlines still apply)")
+    serve.add_argument("--deadline-s", type=float, default=30.0,
+                       dest="deadline_s",
+                       help="default per-request deadline")
+    serve.add_argument("--canary", action="store_true",
+                       help="run the toy evaluation scenario through the "
+                            "serving path before accepting traffic; "
+                            "refuse to serve if outcomes regress")
+    serve.add_argument("--chaos-seed", type=int, default=1234,
+                       dest="chaos_seed",
+                       help="seed for the deterministic FaultPlan")
+    _add_engine_flags(serve)
+
+    loadgen = sub.add_parser("loadgen", help=COMMANDS["loadgen"])
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8765)
+    loadgen.add_argument("--reference", default=None,
+                         help="reference FASTA (with --sam); omit to "
+                              "synthesize a sample instead")
+    loadgen.add_argument("--sam", default=None,
+                         help="input SAM to partition into region jobs")
+    loadgen.add_argument("--length", type=int, default=9_000,
+                         help="synthetic contig length (no --sam)")
+    loadgen.add_argument("--coverage", type=float, default=16.0,
+                         help="synthetic coverage (no --sam)")
+    loadgen.add_argument("--tenants", type=int, default=4)
+    loadgen.add_argument("--requests-per-tenant", type=int, default=8,
+                         dest="requests_per_tenant")
+    loadgen.add_argument("--mean-interarrival-ms", type=float, default=10.0,
+                         dest="mean_interarrival_ms",
+                         help="per-tenant mean gap between requests")
+    loadgen.add_argument("--deadline-s", type=float, default=30.0,
+                         dest="deadline_s",
+                         help="per-request deadline")
+    loadgen.add_argument("--preempt-rate", type=float, default=0.0,
+                         dest="preempt_rate",
+                         help="client-fleet spot-preemption replay rate")
+    loadgen.add_argument("--time-scale", type=float, default=1.0,
+                         dest="time_scale",
+                         help="multiply scheduled gaps (0 = fire at once)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="schedule synthesis seed")
+    loadgen.add_argument("--out", type=_out_file, default=None,
+                         help="write the reassembled realigned SAM here")
+    loadgen.add_argument("--json", type=_out_file, default=None,
+                         dest="json_out",
+                         help="write the LoadReport JSON here")
+    loadgen.add_argument("--compare", type=str, default=None,
+                         metavar="SAM",
+                         help="byte-compare the reassembled SAM against "
+                              "this file; exit non-zero on divergence")
+    loadgen.add_argument("--dry-run", action="store_true", dest="dry_run",
+                         help="no server: replay the schedule through the "
+                              "virtual-time queue model and report exact "
+                              "percentiles")
+    loadgen.add_argument("--selftest", action="store_true",
+                         help="start an in-process server, drive the load "
+                              "against it, and verify the output is "
+                              "byte-identical to the batch realigner")
+    loadgen.add_argument("--shutdown", action="store_true",
+                         help="send the server a shutdown op afterwards")
+    loadgen.add_argument("--chaos-seed", type=int, default=1234,
+                         dest="chaos_seed",
+                         help="seed for the deterministic FaultPlan")
+    _add_engine_flags(loadgen)
     return parser
 
 
@@ -758,6 +1094,10 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     if args.command == "evaluate":
         return _cmd_evaluate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if not hasattr(args, "sites"):
         args.sites = 96
         args.replication = 24

@@ -18,7 +18,11 @@ Without that dataset, the reproduction uses:
 - :mod:`repro.workloads.adversarial` -- seeded hostile-input corruption
   (contaminant reads from the wrong sample, chimeric reads,
   low-quality tails, adapter read-through) that stresses prefilter
-  soundness and realignment stability.
+  soundness and realignment stability;
+- :mod:`repro.workloads.serving` -- seeded many-tenant request
+  schedules (Poisson arrivals, round-robin job assignment, fleet
+  spot-preemption replay) for driving the serving plane
+  (``repro.serve``, docs/SERVING.md).
 """
 
 from repro.workloads.adversarial import (
@@ -50,6 +54,13 @@ from repro.workloads.cohort import (
     measured_frequency,
     simulate_cohort,
 )
+from repro.workloads.serving import (
+    LoadProfile,
+    ScheduledRequest,
+    TENANT_PREFIX,
+    apply_preemption_replay,
+    synthesize_load_schedule,
+)
 from repro.workloads.toy import figure7_toy_targets
 
 __all__ = [
@@ -61,10 +72,14 @@ __all__ = [
     "CohortProfile",
     "CohortSample",
     "ChromosomeCensus",
+    "LoadProfile",
     "REAL_PROFILE",
+    "ScheduledRequest",
     "SiteProfile",
+    "TENANT_PREFIX",
     "TRUSEQ_ADAPTER",
     "adversarial_sample",
+    "apply_preemption_replay",
     "census_for",
     "chromosome_workload",
     "corrupt_sample",
@@ -73,6 +88,7 @@ __all__ = [
     "indel_support",
     "measured_frequency",
     "simulate_cohort",
+    "synthesize_load_schedule",
     "synthesize_site",
     "total_targets",
 ]

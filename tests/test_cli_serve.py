@@ -1,0 +1,165 @@
+"""The serve/loadgen CLI surface, end to end through ``main()``.
+
+tests/test_serve.py proves the serving library; this file drives the
+same machinery through the exact entry points users run -- the
+``repro serve`` process loop (bound port, shutdown op, final snapshot
+line), the ``repro loadgen`` selftest/dry-run/compare paths, and the
+flag-validation exits.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.serve.client import ServiceClient
+
+
+@pytest.fixture(scope="module")
+def sample_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("serve-cli") / "sample"
+    assert cli_main([
+        "simulate", "--out", str(out), "--length", "8000",
+        "--coverage", "12", "--indel-rate", "0.0015", "--seed", "11",
+    ]) == 0
+    return out
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestLoadgenCli:
+    def test_selftest_is_byte_identical(self, tmp_path, capsys):
+        report_path = tmp_path / "load.json"
+        assert cli_main([
+            "loadgen", "--selftest", "--length", "6000",
+            "--coverage", "10", "--tenants", "2",
+            "--requests-per-tenant", "2", "--seed", "3",
+            "--json", str(report_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+        report = json.loads(report_path.read_text())
+        assert report["completed"] + report["retried_requests"] >= 4
+        assert report["server"]["counters"]["serve.requests_completed"] > 0
+
+    def test_selftest_from_files_with_out_and_compare(self, sample_dir,
+                                                      tmp_path, capsys):
+        batch = tmp_path / "batch.sam"
+        assert cli_main([
+            "realign", "--reference", str(sample_dir / "reference.fa"),
+            "--sam", str(sample_dir / "aligned.sam"), "--out", str(batch),
+        ]) == 0
+        served = tmp_path / "served.sam"
+        assert cli_main([
+            "loadgen", "--selftest",
+            "--reference", str(sample_dir / "reference.fa"),
+            "--sam", str(sample_dir / "aligned.sam"),
+            "--tenants", "2", "--seed", "5",
+            "--out", str(served), "--compare", str(batch),
+        ]) == 0
+        assert "matches" in capsys.readouterr().out
+        # The compare already passed; pin the raw-bytes claim too.
+        assert served.read_bytes() == batch.read_bytes()
+
+    def test_dry_run_reports_exact_percentiles(self, tmp_path, capsys):
+        report_path = tmp_path / "dry.json"
+        assert cli_main([
+            "loadgen", "--dry-run", "--length", "6000",
+            "--tenants", "3", "--requests-per-tenant", "4",
+            "--seed", "1", "--json", str(report_path),
+        ]) == 0
+        assert "p99" in capsys.readouterr().out
+        report = json.loads(report_path.read_text())
+        assert report["requests"] == 12
+        # Virtual time: same seed, same report, every platform.
+        rerun = tmp_path / "dry2.json"
+        assert cli_main([
+            "loadgen", "--dry-run", "--length", "6000",
+            "--tenants", "3", "--requests-per-tenant", "4",
+            "--seed", "1", "--json", str(rerun),
+        ]) == 0
+        assert rerun.read_text() == report_path.read_text()
+
+    def test_sam_without_reference_is_rejected(self, sample_dir, capsys):
+        assert cli_main([
+            "loadgen", "--dry-run",
+            "--sam", str(sample_dir / "aligned.sam"),
+        ]) == 2
+        assert "--sam requires --reference" in capsys.readouterr().err
+
+    def test_bad_engine_flags_rejected(self, capsys):
+        assert cli_main([
+            "loadgen", "--selftest", "--length", "6000", "--workers", "0",
+        ]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+
+class TestServeCli:
+    def test_serve_accepts_traffic_then_shuts_down(self, sample_dir,
+                                                   capsys):
+        import asyncio
+
+        port = _free_port()
+        rc = {}
+
+        def serve():
+            rc["serve"] = cli_main([
+                "serve", "--reference", str(sample_dir / "reference.fa"),
+                "--host", "127.0.0.1", "--port", str(port),
+            ])
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+
+        async def drive():
+            deadline = time.perf_counter() + 30.0
+            while True:
+                try:
+                    client = await ServiceClient.open("127.0.0.1", port)
+                    break
+                except OSError:
+                    if time.perf_counter() > deadline:
+                        raise
+                    await asyncio.sleep(0.05)
+            try:
+                assert await client.ping()
+                lines = (sample_dir / "aligned.sam").read_text().splitlines()
+                reads = [ln for ln in lines if not ln.startswith("@")]
+                result = await client.realign(reads[:40])
+                stats = await client.stats()
+                await client.shutdown()
+            finally:
+                await client.close()
+            return result, stats
+
+        result, stats = asyncio.run(drive())
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), "serve process did not shut down"
+        assert rc["serve"] == 0
+        assert len(result.sam) == 40
+        assert result.latency_ms > 0.0
+        assert stats["counters"]["serve.requests_completed"] >= 1
+        out = capsys.readouterr().out
+        assert f"serving on 127.0.0.1:{port}" in out
+        assert "completed" in out  # the final snapshot line
+
+    def test_bad_service_config_rejected(self, sample_dir, capsys):
+        assert cli_main([
+            "serve", "--reference", str(sample_dir / "reference.fa"),
+            "--max-queue-sites", "0",
+        ]) == 2
+        assert "max_queue_sites" in capsys.readouterr().err
+
+    def test_bad_engine_flags_rejected(self, sample_dir, capsys):
+        assert cli_main([
+            "serve", "--reference", str(sample_dir / "reference.fa"),
+            "--workers", "0",
+        ]) == 2
+        assert "--workers" in capsys.readouterr().err

@@ -20,6 +20,10 @@ DOCUMENTED_MODULES = [
     "repro.engine.prefilter",
     "repro.engine.memo",
     "repro.engine.parallel",
+    "repro.serve.metrics",
+    "repro.serve.request",
+    "repro.serve.loadgen",
+    "repro.workloads.serving",
 ]
 
 
