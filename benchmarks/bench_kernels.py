@@ -1,4 +1,4 @@
-"""Kernel-dispatch benchmarks: vector vs FFT vs bitpack vs auto.
+"""Kernel-dispatch benchmarks: vector vs FFT vs bitpack vs native vs auto.
 
 One pool per site regime runs through every dispatchable kernel (the
 scalar transcription baseline is excluded -- it is orders of magnitude
@@ -16,13 +16,21 @@ calibration fit in :mod:`repro.engine.autotune`):
 - ``short64deep`` -- fixed 64 bp reads, deep pileup, tight window: the
   same few-offsets structure at a smaller word count.
 
-``test_kernels_gate`` is the CI acceptance gate, asserting the two
+``test_kernels_gate`` is the CI acceptance gate, asserting the three
 claims docs/PERFORMANCE.md makes about dispatch:
 
 1. on every regime, ``auto`` finishes within ``AUTO_TOLERANCE`` of the
    best fixed kernel (the router must track the per-shape winner);
 2. on at least one fixed-read-length regime, ``bitpack`` strictly
-   beats ``fft`` (the regime the SWAR kernel was built for).
+   beats ``fft`` (the regime the SWAR kernel was built for);
+3. when a compiled backend is available, ``native`` runs at least as
+   fast as ``bitpack`` on at least one fixed-read-length regime (the
+   compiled tier must actually buy something over the interpreted SWAR
+   kernel it replaces). The native backend is JIT-warmed before any
+   timing, so one-time compilation is excluded from every round; on
+   hosts with no backend at all this check is skipped -- ``native`` is
+   then bitpack plus a fallback branch, and gating on that margin
+   would gate on noise.
 
 A failing check does not block immediately: the gate re-measures at
 escalating best-of counts (``GATE_ROUNDS``) and merges per-kernel
@@ -43,6 +51,7 @@ import numpy as np
 import pytest
 
 from repro.engine.autotune import dispatch_realign
+from repro.engine.native import native_available, warmup_native
 from repro.workloads.generator import (
     BENCH_PROFILE,
     SiteProfile,
@@ -52,7 +61,7 @@ from repro.workloads.generator import (
 from conftest import bench_sites
 
 #: Kernels the pools run through; ``auto`` is the calibrated router.
-BENCHED_KERNELS = ("vector", "fft", "bitpack", "auto")
+BENCHED_KERNELS = ("vector", "fft", "bitpack", "native", "auto")
 COMPLEXITIES = (0.5, 0.75, 1.0, 1.25, 1.5, 2.0)
 SCENARIOS = ("mixed", "uniform250", "short64deep")
 
@@ -164,6 +173,10 @@ def _gate_failures(times):
        winning regime is the claim (docs/PERFORMANCE.md); requiring
        both to win every run would gate on scheduler noise at these ms
        scales.
+    3. with a compiled backend available, ``native`` runs at least as
+       fast as ``bitpack`` on at least one fixed-read-length regime --
+       same single-regime logic as check 2. Skipped without a backend
+       (native is then bitpack behind a fallback branch).
     """
     failures = []
     for scenario in SCENARIOS:
@@ -184,6 +197,17 @@ def _gate_failures(times):
             "bitpack no longer beats fft on any fixed-read-length "
             f"regime: bitpack/fft ratios {ratios}"
         )
+    if native_available():
+        native_ratios = {
+            s: times[s]["native"] / times[s]["bitpack"]
+            for s in ("uniform250", "short64deep")
+        }
+        if min(native_ratios.values()) > 1.0:
+            failures.append(
+                "native no longer matches bitpack on any "
+                "fixed-read-length regime: native/bitpack ratios "
+                f"{native_ratios}"
+            )
     return failures
 
 
@@ -200,10 +224,13 @@ def test_kernels_gate():
     duration."""
     override = os.environ.pop("REPRO_KERNEL", None)
     try:
+        # One-time JIT / shared-library compilation happens here, not
+        # inside any timed round.
+        warmup_native()
         # Pin exactness once (and warm every kernel) before timing.
         for scenario in SCENARIOS:
             want = _run(scenario, "vector")
-            for kernel in ("fft", "bitpack", "auto"):
+            for kernel in ("fft", "bitpack", "native", "auto"):
                 for got, ref in zip(_run(scenario, kernel), want):
                     assert got.same_outputs(ref), (scenario, kernel)
 

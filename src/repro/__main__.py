@@ -1058,10 +1058,13 @@ def _add_engine_flags(subparser: argparse.ArgumentParser) -> None:
              "payloads instead)",
     )
     subparser.add_argument(
-        "--kernel", choices=("auto", "scalar", "vector", "fft", "bitpack"),
+        "--kernel",
+        choices=("auto", "scalar", "vector", "fft", "bitpack", "native"),
         default="auto",
         help="WHD kernel: a fixed exact kernel, or 'auto' (default) for "
-             "the calibrated per-site choice (docs/PERFORMANCE.md)",
+             "the calibrated per-site choice; 'native' is the compiled "
+             "tier and degrades to bitpack when no backend is usable "
+             "(docs/PERFORMANCE.md)",
     )
     subparser.add_argument(
         "--autotune", action="store_true",

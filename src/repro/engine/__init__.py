@@ -8,6 +8,9 @@ independent optimizations, each preserving byte-identical output:
   evaluation via FFT match counting instead of per-pair loops;
 - :mod:`repro.engine.bitpack` -- GateKeeper-style bit-packed SWAR
   kernel: 2-bit bases in uint64 lanes, 32 comparisons per word op;
+- :mod:`repro.engine.native` -- the same SWAR pipeline as *compiled*
+  machine code (numba jit or a ctypes-loaded C library), with graceful
+  degradation to bitpack when neither backend is usable;
 - :mod:`repro.engine.autotune` -- a measured per-kernel cost model
   that routes every site to the cheapest exact kernel
   (``--kernel auto``), calibrated and persisted to JSON;
@@ -51,6 +54,13 @@ from repro.engine.bitpack import (
     realign_site_bitpacked,
 )
 from repro.engine.memo import PairMemo
+from repro.engine.native import (
+    min_whd_grid_native,
+    native_available,
+    native_backend_name,
+    realign_site_native,
+    warmup_native,
+)
 from repro.engine.parallel import Engine, EngineConfig, ShardStats
 from repro.engine.shmem import (
     HAVE_SHARED_MEMORY,
@@ -93,6 +103,9 @@ __all__ = [
     "fast_fft_length",
     "min_whd_grid_batched",
     "min_whd_grid_bitpacked",
+    "min_whd_grid_native",
+    "native_available",
+    "native_backend_name",
     "offset_candidates",
     "pack_bases",
     "pack_chunk",
@@ -101,5 +114,7 @@ __all__ = [
     "pairs_cannot_beat_reference",
     "realign_site_batched",
     "realign_site_bitpacked",
+    "realign_site_native",
     "unpack_chunk",
+    "warmup_native",
 ]

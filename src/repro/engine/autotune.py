@@ -1,11 +1,13 @@
 """Calibrated per-site kernel dispatch: route each site to the
 cheapest exact kernel.
 
-The repository carries four exact WHD kernels -- scalar
+The repository carries five exact WHD kernels -- scalar
 (:func:`repro.realign.whd.min_whd_pair` loops), vectorized
 (:func:`repro.realign.whd.whd_profile` per pair), FFT-batched
-(:mod:`repro.engine.batch`), and bit-packed SWAR
-(:mod:`repro.engine.bitpack`). They produce byte-identical results but
+(:mod:`repro.engine.batch`), bit-packed SWAR
+(:mod:`repro.engine.bitpack`), and the compiled native tier
+(:mod:`repro.engine.native`, the SWAR pipeline as machine code via
+numba or a ctypes-loaded C library). They produce byte-identical results but
 their costs scale on *different* site dimensions: the FFT pass pays
 ``(C + R) * Lf log Lf`` transforms regardless of how few offsets a site
 actually needs, the SWAR kernel pays per packed word and wins when the
@@ -29,9 +31,14 @@ calibration shapes.
 Environment knobs:
 
 - ``REPRO_KERNEL`` -- overrides *auto* dispatch with a fixed kernel
-  (``scalar`` / ``vector`` / ``fft`` / ``bitpack``). Explicitly
-  requested kernels are never overridden; CI uses this to force the
-  whole tier-1 suite through one kernel.
+  (``scalar`` / ``vector`` / ``fft`` / ``bitpack`` / ``native``).
+  Explicitly requested kernels are never overridden; CI uses this to
+  force the whole tier-1 suite through one kernel.
+- ``REPRO_NATIVE`` -- backend policy for the native tier (``auto`` /
+  ``numba`` / ``cc`` / ``off``); see :mod:`repro.engine.native`. When
+  no compiled backend is usable, routing *to* native still succeeds --
+  the kernel itself degrades to bitpack and counts
+  ``kernel.native.unavailable``.
 - ``REPRO_AUTOTUNE_PROFILE`` -- path to a calibration profile JSON;
   falls back to the committed ``autotune_profile.json`` next to this
   module (recalibrate with ``realign --autotune`` or
@@ -61,7 +68,7 @@ from repro.realign.site import RealignmentSite
 from repro.realign.whd import SiteResult
 
 #: Dispatchable kernel names, in documentation order.
-KERNELS = ("scalar", "vector", "fft", "bitpack")
+KERNELS = ("scalar", "vector", "fft", "bitpack", "native")
 
 #: ``--kernel`` choices: the fixed kernels plus the calibrated router.
 KERNEL_CHOICES = ("auto",) + KERNELS
@@ -189,11 +196,26 @@ def _basis_bitpack(f: SiteFeatures) -> List[float]:
     ]
 
 
+def _basis_native(f: SiteFeatures) -> List[float]:
+    # Same pipeline as bitpack but the word loop runs as machine code:
+    # the constant covers packing + the foreign-call overhead, the word
+    # volume term carries a far smaller fitted coefficient, and the
+    # exact tail is folded into valid_cells as for bitpack.
+    span = f.read_words * 32.0
+    return [
+        1.0,
+        (f.C + f.R) * span,
+        float(f.C) * f.K * f.R * f.read_words,
+        float(f.valid_cells),
+    ]
+
+
 _BASES: Dict[str, Callable[[SiteFeatures], List[float]]] = {
     "scalar": _basis_scalar,
     "vector": _basis_vector,
     "fft": _basis_fft,
     "bitpack": _basis_bitpack,
+    "native": _basis_native,
 }
 
 
@@ -300,6 +322,7 @@ _BUILTIN = CostProfile(
         "vector": (0.0, 4e-6, 1.2e-9),
         "fft": (1.5e-4, 6e-9, 1.2e-9, 2e-8),
         "bitpack": (1.2e-4, 1e-8, 1.5e-9, 2e-8),
+        "native": (8e-5, 5e-9, 2e-10, 5e-9),
     },
     meta={"source": "builtin-uncalibrated"},
 )
@@ -366,8 +389,8 @@ def dispatch_realign(
 
     >>> from repro.experiments.figure4 import build_site
     >>> site = build_site()
-    >>> results = [dispatch_realign(site, kernel=k)
-    ...            for k in ("auto", "scalar", "vector", "fft", "bitpack")]
+    >>> results = [dispatch_realign(site, kernel=k) for k in
+    ...            ("auto", "scalar", "vector", "fft", "bitpack", "native")]
     >>> all(r.same_outputs(results[0]) for r in results)
     True
     """
@@ -416,6 +439,12 @@ def _run_kernel(site, kernel, scoring, prefilter, telemetry, memo):
         from repro.engine.bitpack import realign_site_bitpacked
 
         return realign_site_bitpacked(
+            site, scoring=scoring, telemetry=telemetry
+        )
+    if kernel == "native":
+        from repro.engine.native import realign_site_native
+
+        return realign_site_native(
             site, scoring=scoring, telemetry=telemetry
         )
     from repro.realign.whd import realign_site
@@ -478,9 +507,15 @@ def calibrate(
     Each (site, kernel) pair is timed ``repeats`` times and the best is
     kept (measurement noise is one-sided). The scalar kernel is skipped
     on sites above ``_SCALAR_COMPARISON_CAP`` comparisons; its rows are
-    fitted from the smaller shapes. Returns the fitted profile --
-    callers persist it with :meth:`CostProfile.save`.
+    fitted from the smaller shapes. The native tier is JIT-warmed
+    *before* any timing (so one-time compilation cannot poison its
+    rows) and left out of the fit entirely when no compiled backend is
+    usable -- dispatch then simply never routes to it. Returns the
+    fitted profile -- callers persist it with :meth:`CostProfile.save`.
     """
+    from repro.engine.native import warmup_native
+
+    native_ok = warmup_native()
     if sites is None:
         sites = _calibration_sites(seed, per_shape)
     features = [SiteFeatures.from_site(site) for site in sites]
@@ -488,6 +523,8 @@ def calibrate(
     times: Dict[str, List[float]] = {k: [] for k in KERNELS}
     for site, f in zip(sites, features):
         for kernel in KERNELS:
+            if kernel == "native" and not native_ok:
+                continue
             if (kernel == "scalar"
                     and f.valid_cells * f.n_max > _SCALAR_COMPARISON_CAP):
                 continue
@@ -500,6 +537,8 @@ def calibrate(
             times[kernel].append(best)
     coefficients = {}
     for kernel in KERNELS:
+        if not rows[kernel]:
+            continue
         A = np.asarray(rows[kernel], dtype=np.float64)
         b = np.asarray(times[kernel], dtype=np.float64)
         # Weight by 1/time so small-site rows (where crossovers live)

@@ -65,7 +65,7 @@ class EngineConfig:
     >>> EngineConfig(kernel="simd")
     Traceback (most recent call last):
         ...
-    ValueError: unknown kernel 'simd'; choose from ('auto', 'scalar', 'vector', 'fft', 'bitpack')
+    ValueError: unknown kernel 'simd'; choose from ('auto', 'scalar', 'vector', 'fft', 'bitpack', 'native')
     """
 
     workers: int = 1
@@ -134,10 +134,20 @@ _WORKER_PROFILE: Optional[CostProfile] = None
 
 def _init_worker(config: EngineConfig,
                  profile: Optional[CostProfile] = None) -> None:
-    """Pool initializer: install the run-invariant config + profile."""
+    """Pool initializer: install the run-invariant config + profile.
+
+    When the run can route sites through the native tier (``kernel``
+    is ``auto`` or ``native``), each worker also pre-warms the compiled
+    backend here, so one-time JIT/shared-library compilation happens
+    during pool startup instead of inside the first timed chunk.
+    """
     global _WORKER_CONFIG, _WORKER_PROFILE
     _WORKER_CONFIG = config
     _WORKER_PROFILE = profile
+    if config.kernel in ("auto", "native"):
+        from repro.engine.native import warmup_native
+
+        warmup_native()
 
 
 def _run_chunk(payload) -> Tuple[int, List[SiteResult], float, float, Dict[str, int]]:

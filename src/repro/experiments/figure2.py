@@ -60,7 +60,11 @@ def run(execute_pipeline: bool = True, seed: int = 2) -> Figure2Result:
     if execute_pipeline:
         profile = SimulationProfile(indel_rate=8e-4, coverage=30)
         sample = simulate_sample({"22": 20_000}, profile=profile, seed=seed)
-        pipeline = RefinementPipeline(sample.reference)
+        # Pin the baseline numpy kernel: this figure profiles the
+        # *unaccelerated* refinement pipeline, so its stage breakdown
+        # must not shift when `auto` dispatch (or a REPRO_KERNEL CI
+        # override) routes realignment to a faster kernel tier.
+        pipeline = RefinementPipeline(sample.reference, kernel="vector")
         result.measured = pipeline.run(sample.reads)
     return result
 

@@ -107,9 +107,9 @@ class IndelRealigner:
         ``scoring`` selects Algorithm 2's consensus-score semantics
         (see :func:`repro.realign.whd.score_and_select`).
         ``kernel`` names the WHD kernel for the per-site path
-        (``auto``/``scalar``/``vector``/``fft``/``bitpack``; see
-        :func:`repro.engine.autotune.dispatch_realign`) -- every choice
-        is exact, so outputs are identical. ``vectorized`` is the
+        (``auto``/``scalar``/``vector``/``fft``/``bitpack``/``native``;
+        see :func:`repro.engine.autotune.dispatch_realign`) -- every
+        choice is exact, so outputs are identical. ``vectorized`` is the
         deprecated spelling of ``kernel="vector"``/``"scalar"``; it
         still works but warns, and an explicit ``kernel`` wins.
         ``engine`` optionally routes the kernel through the batched

@@ -74,10 +74,17 @@ class RefinementPipeline:
         reference: ReferenceGenome,
         use_accelerator: bool = False,
         system_config: Optional[SystemConfig] = None,
+        kernel: str = "auto",
     ):
+        """``kernel`` is forwarded to the software realigner. Profiling
+        experiments pin it (an explicit kernel is never overridden by
+        ``REPRO_KERNEL``) so their measured stage breakdown does not
+        shift whenever the kernel tier or a CI kernel-override job
+        changes which implementation ``auto`` resolves to."""
         self.reference = reference
         self.use_accelerator = use_accelerator
         self.system_config = system_config
+        self.kernel = kernel
 
     def _timed(self, result: PipelineResult, stage: str,
                action: Callable[[], object]) -> object:
@@ -110,9 +117,9 @@ class RefinementPipeline:
                 )
                 updated, _run, report = realigner.realign(result.reads)
             else:
-                updated, report = IndelRealigner(self.reference).realign(
-                    result.reads
-                )
+                updated, report = IndelRealigner(
+                    self.reference, kernel=self.kernel
+                ).realign(result.reads)
             result.realigner_report = report
             return updated
 

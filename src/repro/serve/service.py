@@ -104,6 +104,15 @@ class RealignmentService:
         """Bind to the running loop and start the coalescing batcher."""
         if self._batcher is not None:
             raise RuntimeError("service already started")
+        # Pre-warm the compiled kernel tier before accepting traffic:
+        # first-call JIT / shared-library compilation must never land
+        # inside a served request's latency.
+        kernel = getattr(getattr(self.engine, "config", None),
+                         "kernel", "auto")
+        if kernel in ("auto", "native"):
+            from repro.engine.native import warmup_native
+
+            warmup_native()
         self._loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue()
         self._room = asyncio.Condition()

@@ -16,6 +16,7 @@ DOCUMENTED_MODULES = [
     "repro.realign.whd",
     "repro.engine.batch",
     "repro.engine.bitpack",
+    "repro.engine.native",
     "repro.engine.autotune",
     "repro.engine.prefilter",
     "repro.engine.memo",

@@ -169,15 +169,16 @@ class TestEngineMatchesGolden:
 
     @pytest.mark.parametrize("streaming", [False, True])
     @pytest.mark.parametrize(
-        "kernel", ["auto", "scalar", "vector", "fft", "bitpack"]
+        "kernel", ["auto", "scalar", "vector", "fft", "bitpack", "native"]
     )
     def test_every_kernel_matches_golden_in_both_engines(
         self, golden, sample, kernel, streaming
     ):
-        """All four kernels (and auto) must land every read where the
+        """All five kernels (and auto) must land every read where the
         golden does, through the barrier and streaming engines alike --
         the dispatch layer is only allowed to change *when* results
-        arrive, never what they are."""
+        arrive, never what they are. ``native`` runs here with or
+        without a compiled backend: its fallback path is exact too."""
         from repro.engine import EngineConfig, StreamingEngine
         from repro.realign.realigner import IndelRealigner
 

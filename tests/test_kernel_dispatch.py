@@ -1,8 +1,9 @@
 """Cross-kernel exactness and calibrated-dispatch tests.
 
-Four exact kernels implement Algorithm 1 -- scalar, vectorized,
-FFT-batched, bit-packed SWAR -- and :mod:`repro.engine.autotune` routes
-sites between them. Two properties keep that sound:
+Five exact kernels implement Algorithm 1 -- scalar, vectorized,
+FFT-batched, bit-packed SWAR, and the compiled native tier -- and
+:mod:`repro.engine.autotune` routes sites between them. Two properties
+keep that sound:
 
 - **exactness**: every kernel produces cell-identical ``(min_whd,
   min_idx)`` grids and identical ``SiteResult`` outputs on any site,
@@ -11,6 +12,11 @@ sites between them. Two properties keep that sound:
 - **dispatch semantics**: ``auto`` consults the persisted cost profile,
   the ``REPRO_KERNEL`` override applies to ``auto`` only, and an
   explicitly requested kernel always runs.
+
+The native tier never *requires* a compiled backend: without one it
+degrades to bitpack, so every parity test here runs (and must pass)
+either way. Only the tests that poke a backend *directly* skip when
+none is available.
 """
 
 import os
@@ -32,6 +38,11 @@ from repro.engine.autotune import (
 )
 from repro.engine.batch import min_whd_grid_batched
 from repro.engine.bitpack import min_whd_grid_bitpacked
+from repro.engine.native import (
+    min_whd_grid_native,
+    native_available,
+    realign_site_native,
+)
 from repro.realign.site import RealignmentSite
 from repro.realign.whd import min_whd_grid, realign_site
 from repro.workloads.generator import (
@@ -118,6 +129,7 @@ def assert_all_kernels_agree(site):
         "vector": min_whd_grid(site, vectorized=True),
         "fft": min_whd_grid_batched(site, prefilter=False),
         "bitpack": min_whd_grid_bitpacked(site),
+        "native": min_whd_grid_native(site),
     }.items():
         np.testing.assert_array_equal(mw, ref_w, err_msg=f"{label} min_whd")
         np.testing.assert_array_equal(mi, ref_i, err_msg=f"{label} min_idx")
@@ -152,7 +164,7 @@ class TestCrossKernelExactness:
         site = synthesize_site(np.random.default_rng(seed), BENCH_PROFILE,
                                complexity=0.5)
         want = realign_site(site)
-        for kernel in ("vector", "fft", "bitpack", "auto"):
+        for kernel in ("vector", "fft", "bitpack", "native", "auto"):
             assert dispatch_realign(site, kernel=kernel).same_outputs(want)
 
 
@@ -235,7 +247,12 @@ class TestCostProfile:
         sites = [synthesize_site(rng, BENCH_PROFILE, complexity=c)
                  for c in (0.1, 0.3, 0.6)]
         profile = calibrate(sites=sites, repeats=1)
-        assert set(profile.kernels()) == set(KERNELS)
+        # The native tier only yields timing rows when a compiled
+        # backend is usable on this host; the fit covers it exactly
+        # when it does.
+        expected = set(KERNELS) if native_available() \
+            else set(KERNELS) - {"native"}
+        assert set(profile.kernels()) == expected
         for coef in profile.coefficients.values():
             assert all(c >= 0.0 for c in coef)
         f = SiteFeatures.from_site(sites[0])
@@ -248,7 +265,9 @@ class TestEngineKernelWiring:
         return [synthesize_site(rng, BENCH_PROFILE, complexity=0.4)
                 for _ in range(6)]
 
-    @pytest.mark.parametrize("kernel", ["auto", "vector", "fft", "bitpack"])
+    @pytest.mark.parametrize(
+        "kernel", ["auto", "vector", "fft", "bitpack", "native"]
+    )
     def test_engine_results_identical_across_kernels(self, kernel):
         from repro.engine import Engine, EngineConfig
 
@@ -367,6 +386,109 @@ class TestPopcountFallback:
             want = realign_site(site)
             got = dispatch_realign(site, kernel="bitpack")
             assert got.same_outputs(want)
+
+
+class TestNativeKernel:
+    """The compiled tier's backend machinery and fallback semantics.
+
+    Parity of native *output* with the other kernels is covered above
+    (it holds with or without a backend); this class tests the pieces
+    unique to the tier -- forced backend paths, warmup, and the
+    degrade-to-bitpack contract.
+    """
+
+    @pytest.fixture()
+    def fresh_backend(self):
+        """Re-probe the backend around each test and restore after."""
+        from repro.engine import native
+
+        native.reset_backend()
+        yield native
+        native.reset_backend()
+
+    needs_backend = pytest.mark.skipif(
+        not native_available(),
+        reason="no compiled native backend (numba or C compiler) here",
+    )
+
+    @needs_backend
+    def test_backend_name_is_reported(self):
+        from repro.engine.native import native_backend_name
+
+        assert native_backend_name() in ("numba", "cc")
+
+    @needs_backend
+    def test_warmup_is_idempotent_and_true(self):
+        from repro.engine.native import warmup_native
+
+        assert warmup_native() is True
+        assert warmup_native() is True
+
+    @needs_backend
+    @pytest.mark.parametrize("force_swar", [True, False])
+    def test_both_compiled_paths_match_scalar(self, force_swar):
+        # Force the SWAR pipeline and the compiled scalar-fallback grid
+        # in turn; the volume heuristic that picks between them must
+        # never be able to change an output.
+        from repro.engine import native
+
+        backend = native.get_backend()
+        for site in degenerate_sites():
+            ref_w, ref_i = min_whd_grid(site, vectorized=False)
+            mw, mi, _ = native._grids_native(site, backend,
+                                             force_swar=force_swar)
+            np.testing.assert_array_equal(mw, ref_w)
+            np.testing.assert_array_equal(mi, ref_i)
+
+    @needs_backend
+    def test_screening_counters_are_consistent(self):
+        sink = Sink()
+        site = synthesize_site(np.random.default_rng(11), BENCH_PROFILE)
+        realign_site_native(site, telemetry=sink)
+        assert sink.counters.get("kernel.sites") == 1
+        screened = sink.counters.get("native.offsets_screened")
+        exact = sink.counters.get("native.offsets_exact")
+        assert screened == sink.counters.get("kernel.offsets_evaluated")
+        assert 0 < exact <= screened
+        assert "kernel.native.unavailable" not in sink.counters
+
+    def test_off_switch_degrades_to_bitpack(self, monkeypatch,
+                                            fresh_backend):
+        monkeypatch.setenv("REPRO_NATIVE", "off")
+        fresh_backend.reset_backend()
+        assert not fresh_backend.native_available()
+        sink = Sink()
+        site = synthesize_site(np.random.default_rng(12), BENCH_PROFILE)
+        got = fresh_backend.realign_site_native(site, telemetry=sink)
+        assert sink.counters.get("kernel.native.unavailable") == 1
+        # Bitpack ran underneath: its screening counters are present
+        # and the output is still exact.
+        assert "bitpack.offsets_screened" in sink.counters
+        assert got.same_outputs(realign_site(site))
+
+    def test_off_switch_keeps_dispatch_working(self, monkeypatch,
+                                               fresh_backend):
+        # --kernel native (and auto routing to native) must stay a
+        # working request, not an error, when the tier is disabled.
+        monkeypatch.setenv("REPRO_NATIVE", "off")
+        fresh_backend.reset_backend()
+        site = synthesize_site(np.random.default_rng(13), BENCH_PROFILE)
+        got = dispatch_realign(site, kernel="native")
+        assert got.same_outputs(realign_site(site))
+
+    def test_warmup_reports_false_when_disabled(self, monkeypatch,
+                                                fresh_backend):
+        monkeypatch.setenv("REPRO_NATIVE", "off")
+        fresh_backend.reset_backend()
+        assert fresh_backend.warmup_native() is False
+
+    @needs_backend
+    def test_grid_entry_point_matches_reference(self):
+        for site in degenerate_sites():
+            ref_w, ref_i = min_whd_grid(site, vectorized=False)
+            mw, mi = min_whd_grid_native(site)
+            np.testing.assert_array_equal(mw, ref_w)
+            np.testing.assert_array_equal(mi, ref_i)
 
 
 class TestProfilePersistencePaths:

@@ -554,6 +554,43 @@ class TestServerByteIdentity:
         assert result.latency_ms > 0.0
         assert stats["counters"]["serve.requests_completed"] >= 1
 
+    def test_native_kernel_round_trip_matches_batch_realigner(self):
+        """The compiled tier under coalesced dispatch, end to end.
+
+        ``service.start()`` pre-warms the native backend before traffic
+        and the request plane then routes every coalesced batch through
+        ``kernel="native"``; the served SAM must be byte-identical to
+        the batch realigner run with the same engine config. Runs with
+        or without a compiled backend -- the fallback path is exact.
+        """
+        from repro.engine import EngineConfig
+
+        sample = _sample({"chrS": 4000}, seed=8)
+        expected, _ = IndelRealigner(
+            sample.reference, engine=EngineConfig(kernel="native"),
+        ).realign(sample.reads)
+        expected_lines = [format_read(r) for r in expected]
+
+        async def scenario():
+            server = RealignmentServer(
+                sample.reference, engine=EngineConfig(kernel="native"),
+            )
+            host, port = await server.start(port=0)
+            try:
+                async with await ServiceClient.open(host, port) as client:
+                    result = await client.realign(
+                        [format_read(r) for r in sample.reads],
+                        tenant="t-native",
+                    )
+                    stats = await client.stats()
+            finally:
+                await server.close()
+            return result, stats
+
+        result, stats = asyncio.run(scenario())
+        assert result.sam == expected_lines
+        assert stats["counters"]["serve.requests_completed"] >= 1
+
     def test_loadgen_reassembly_matches_batch_realigner(self):
         sample = _sample({"chrS": 4000, "chrT": 2500}, seed=9)
         expected, _ = IndelRealigner(sample.reference).realign(sample.reads)
