@@ -284,13 +284,24 @@ def _make_recovery(args: argparse.Namespace):
 def _make_engine(args: argparse.Namespace):
     """The engine the ``--workers/--batch/--stream`` flags describe:
     a plain :class:`EngineConfig` (the realigner builds its own barrier
-    engine), or a live :class:`StreamingEngine` when ``--stream`` --
-    or a live :class:`Engine` when worker recovery is requested."""
+    engine), a live :class:`StreamingEngine` when ``--stream``, a live
+    :class:`Engine` when worker recovery is requested -- or a
+    :class:`~repro.shard.plane.ShardPlane` when ``--shards``/``--site
+    -cache-mb`` ask for horizontal dispatch or cross-request caching."""
     from repro.engine import EngineConfig
 
     config = EngineConfig(workers=args.workers, batch=args.batch,
                           prefilter=args.prefilter, kernel=args.kernel)
     recovery = _make_recovery(args)
+    shards = getattr(args, "shards", 1)
+    cache_mb = getattr(args, "site_cache_mb", 0.0)
+    if shards > 1 or cache_mb > 0:
+        from repro.shard import ShardPlane, SiteResultCache
+
+        cache = (SiteResultCache.from_megabytes(cache_mb)
+                 if cache_mb > 0 else None)
+        return ShardPlane(config, shards=shards, cache=cache,
+                          recovery=recovery)
     if not args.stream:
         if recovery is None:
             return config
@@ -357,13 +368,7 @@ def _cmd_realign(args: argparse.Namespace) -> int:
         print("error: --fault-rate requires --accelerated (chaos mode "
               "injects faults into the FPGA system model)", file=sys.stderr)
         return 2
-    if args.workers < 1 or args.batch < 1:
-        print("error: --workers and --batch must be >= 1", file=sys.stderr)
-        return 2
-    if args.queue_depth < 1:
-        print("error: --queue-depth must be >= 1", file=sys.stderr)
-        return 2
-    error = _check_recovery_flags(args)
+    error = _engine_flag_errors(args)
     if error is not None:
         print(error, file=sys.stderr)
         return 2
@@ -438,13 +443,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.evaluate import run_scenario
     from repro.evaluate.scenarios import SCENARIO_NAMES
 
-    if args.workers < 1 or args.batch < 1:
-        print("error: --workers and --batch must be >= 1", file=sys.stderr)
-        return 2
-    if args.queue_depth < 1:
-        print("error: --queue-depth must be >= 1", file=sys.stderr)
-        return 2
-    error = _check_recovery_flags(args)
+    error = _engine_flag_errors(args)
     if error is not None:
         print(error, file=sys.stderr)
         return 2
@@ -496,13 +495,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"error: --fault-rate must be in [0, 1], got {args.fault_rate}",
               file=sys.stderr)
         return 2
-    if args.workers < 1 or args.batch < 1:
-        print("error: --workers and --batch must be >= 1", file=sys.stderr)
-        return 2
-    if args.queue_depth < 1:
-        print("error: --queue-depth must be >= 1", file=sys.stderr)
-        return 2
-    error = _check_recovery_flags(args)
+    error = _engine_flag_errors(args)
     if error is not None:
         print(error, file=sys.stderr)
         return 2
@@ -642,6 +635,13 @@ def _engine_flag_errors(args: argparse.Namespace):
         return "error: --workers and --batch must be >= 1"
     if args.queue_depth < 1:
         return "error: --queue-depth must be >= 1"
+    if getattr(args, "shards", 1) < 1:
+        return "error: --shards must be >= 1"
+    if getattr(args, "site_cache_mb", 0.0) < 0:
+        return "error: --site-cache-mb must be >= 0"
+    if getattr(args, "shards", 1) > 1 and args.stream:
+        return ("error: --shards and --stream are mutually exclusive "
+                "(the shard plane owns its own dispatch)")
     return _check_recovery_flags(args)
 
 
@@ -741,6 +741,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             mean_interarrival_s=args.mean_interarrival_ms / 1e3,
             deadline_s=args.deadline_s,
             preempt_rate=args.preempt_rate,
+            schedule=args.schedule,
         )
         reference, reads = _loadgen_inputs(args)
     except ValueError as bad:
@@ -829,7 +830,27 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             return 1
         print(f"served output matches {args.compare} "
               f"({len(got_lines)} reads)")
+        _print_server_planes(report.server)
     return 0
+
+
+def _print_server_planes(server_stats) -> None:
+    """Cache and shard-plane lines from a server's snapshot dict."""
+    if not isinstance(server_stats, dict):
+        return
+    counters = server_stats.get("counters", {}) or {}
+    if counters.get("cache.hits", 0) or counters.get("cache.misses", 0):
+        rate = server_stats.get("cache_hit_rate", 0.0)
+        print(f"site cache: {rate:.1%} hit rate "
+              f"({counters.get('cache.hits', 0)} hits / "
+              f"{counters.get('cache.misses', 0)} misses, "
+              f"{counters.get('cache.evictions', 0)} evictions, "
+              f"{counters.get('cache.bytes', 0)} bytes held)")
+    saturation = server_stats.get("shard_saturation", {}) or {}
+    if saturation:
+        busy = ", ".join(f"{name} {value:.1%}"
+                         for name, value in sorted(saturation.items()))
+        print(f"shard saturation: {busy}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -997,6 +1018,13 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--preempt-rate", type=float, default=0.0,
                          dest="preempt_rate",
                          help="client-fleet spot-preemption replay rate")
+    loadgen.add_argument("--schedule",
+                         choices=("uniform", "duplicate_heavy"),
+                         default="uniform",
+                         help="job assignment: uniform round-robin, or "
+                              "duplicate_heavy (tenants re-submit a hot "
+                              "set of overlapping cohort regions -- the "
+                              "site-cache regime)")
     loadgen.add_argument("--time-scale", type=float, default=1.0,
                          dest="time_scale",
                          help="multiply scheduled gaps (0 = fire at once)")
@@ -1084,6 +1112,20 @@ def _add_engine_flags(subparser: argparse.ArgumentParser) -> None:
         help="per-chunk watchdog deadline; enables worker-crash "
              "recovery (retry/bisect/quarantine + pool respawn) even "
              "at fault rate 0",
+    )
+    subparser.add_argument(
+        "--shards", type=int, default=1,
+        help="horizontal shard plane: partition sites by contig/region "
+             "hash across N long-lived shard workers (byte-identical "
+             "output at any N; docs/SHARDING.md); incompatible with "
+             "--stream",
+    )
+    subparser.add_argument(
+        "--site-cache-mb", type=float, default=0.0, dest="site_cache_mb",
+        metavar="MB",
+        help="content-addressed site-result cache byte budget (LRU); "
+             "duplicate sites short-circuit the kernel entirely "
+             "(0 = disabled)",
     )
 
 

@@ -61,6 +61,7 @@ class RealignmentServer:
         service_config: Optional[ServiceConfig] = None,
         telemetry=None,
         realigner_kwargs: Optional[dict] = None,
+        cache=None,
     ):
         from repro.engine import EngineConfig
 
@@ -71,6 +72,7 @@ class RealignmentServer:
             engine if engine is not None else EngineConfig(),
             config=service_config,
             telemetry=telemetry,
+            cache=cache,
         )
         self.canary_result: dict = {}
         self._server: Optional[asyncio.AbstractServer] = None

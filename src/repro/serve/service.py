@@ -69,11 +69,15 @@ class RealignmentService:
     is built from it and owned by the service). ``telemetry`` is an
     optional :class:`~repro.telemetry.Telemetry` session; engine
     counters fold into it per dispatch and the service's own
-    ``serve.*`` counters fold in at :meth:`close`.
+    ``serve.*`` counters fold in at :meth:`close`. ``cache`` is an
+    optional :class:`~repro.shard.cache.SiteResultCache`: hits
+    short-circuit whole sites before the engine dispatch (engines that
+    carry their own cache -- the shard plane -- consult it themselves,
+    and the service just surfaces its counters).
     """
 
     def __init__(self, engine, config: Optional[ServiceConfig] = None,
-                 telemetry=None):
+                 telemetry=None, cache=None):
         from repro.engine import Engine, EngineConfig
 
         if isinstance(engine, EngineConfig):
@@ -82,6 +86,13 @@ class RealignmentService:
         else:
             self._owns_engine = False
         self.engine = engine
+        # The content-addressed site-result cache. A shard plane
+        # consults its own cache inside run_sites; the service-level
+        # splice below only activates for engines that don't, so a hit
+        # is never double-counted and a site never hashed twice.
+        engine_cache = getattr(engine, "cache", None)
+        self.cache = cache if cache is not None else engine_cache
+        self._splice_cache = cache is not None and engine_cache is None
         self.config = config if config is not None else ServiceConfig()
         self.telemetry = telemetry
         self.latencies = LatencyRecorder()
@@ -354,8 +365,7 @@ class RealignmentService:
         try:
             results = await self._loop.run_in_executor(
                 self._executor,
-                lambda: self.engine.run_sites(sites,
-                                              telemetry=self.telemetry),
+                lambda: self._run_engine(sites),
             )
         except Exception as error:
             self._count("serve.batches_failed", 1)
@@ -378,6 +388,30 @@ class RealignmentService:
             self._count("serve.sites_completed", job.num_sites)
             self.latencies.record(job.tenant, done - job.enqueued_at)
             self._retire(job)
+
+    def _run_engine(self, sites: List):
+        """One engine dispatch, through the service-level cache splice.
+
+        Engines with their own cache (the shard plane) skip this splice
+        entirely -- their ``run_sites`` already short-circuits hits.
+        """
+        if not self._splice_cache:
+            return self.engine.run_sites(sites, telemetry=self.telemetry)
+        from repro.shard.cache import lookup_sites
+
+        engine_config = getattr(self.engine, "config", None)
+        results, miss_indices, keys = lookup_sites(self.cache, sites,
+                                                   engine_config)
+        self._count("serve.cache_hits", len(sites) - len(miss_indices))
+        self._count("serve.cache_misses", len(miss_indices))
+        if miss_indices:
+            computed = self.engine.run_sites(
+                [sites[i] for i in miss_indices], telemetry=self.telemetry
+            )
+            for index, result in zip(miss_indices, computed):
+                results[index] = result
+                self.cache.put(keys[index], sites[index].start, result)
+        return results
 
     # -- bookkeeping ----------------------------------------------------
     def _count(self, name: str, delta: int) -> None:
@@ -420,6 +454,12 @@ class RealignmentService:
         counters["serve.saturated_us"] = saturated_us
         if hasattr(self.engine, "stream_stats"):
             counters.update(self.engine.stream_stats or {})
+        cache_hit_rate = 0.0
+        if self.cache is not None:
+            counters.update(self.cache.snapshot())
+            cache_hit_rate = self.cache.hit_rate
+        occupancy = getattr(self.engine, "occupancy", None)
+        shard_saturation = occupancy() if callable(occupancy) else {}
         return ServiceSnapshot(
             counters=counters,
             latency=self.latencies.summary(),
@@ -429,6 +469,8 @@ class RealignmentService:
             outstanding_sites=self._outstanding,
             uptime_s=uptime,
             saturation=min(saturated_us / (uptime * 1e6), 1.0),
+            cache_hit_rate=cache_hit_rate,
+            shard_saturation=shard_saturation,
         )
 
 

@@ -42,6 +42,7 @@ CAT_FLEET = "fleet"          # one job on one fleet instance
 CAT_ENGINE = "engine"        # one shard on a host worker process
 CAT_STREAM = "stream"        # one chunk in the streaming data plane
 CAT_RECOVERY = "recovery"    # a host data-plane recovery action
+CAT_SHARD = "shard"          # one chunk on a horizontal shard worker
 
 
 def unit_track(unit: int) -> str:

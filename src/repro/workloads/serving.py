@@ -56,6 +56,18 @@ class LoadProfile:
     deadline_s: float = 30.0
     preempt_rate: float = 0.0
     restart_delay_s: float = 0.05
+    schedule: str = "uniform"
+
+    #: Valid ``schedule`` values: ``uniform`` assigns jobs round-robin
+    #: (every request distinct until the job list wraps);
+    #: ``duplicate_heavy`` is the multi-tenant cohort regime -- most
+    #: requests re-submit a small hot set of overlapping cohort
+    #: regions, the traffic shape the content-addressed site cache is
+    #: built for.
+    SCHEDULES = ("uniform", "duplicate_heavy")
+
+    #: duplicate_heavy: probability a request draws from the hot set.
+    HOT_FRACTION = 0.85
 
     def __post_init__(self) -> None:
         if self.tenants < 1:
@@ -72,6 +84,11 @@ class LoadProfile:
             )
         if self.restart_delay_s < 0:
             raise ValueError("restart_delay_s must be >= 0")
+        if self.schedule not in self.SCHEDULES:
+            raise ValueError(
+                f"schedule must be one of {self.SCHEDULES}, "
+                f"got {self.schedule!r}"
+            )
 
     @property
     def total_requests(self) -> int:
@@ -111,6 +128,17 @@ def synthesize_load_schedule(
     order, then the merged list is sorted by ``(arrival, tenant, job)``
     for a total, reproducible order.
 
+    With ``profile.schedule == "duplicate_heavy"``, each request
+    instead re-submits a job from a small shared *hot set* (the first
+    ``max(1, num_jobs // 8)`` jobs) with probability
+    :data:`LoadProfile.HOT_FRACTION`, falling back to round-robin
+    otherwise -- seeded from the same per-tenant streams, so the
+    duplicate pattern is as reproducible as the arrivals. This is the
+    cohort-re-analysis regime: many tenants querying overlapping
+    regions, which the content-addressed site cache short-circuits
+    (the loadgen's final sweep pass still covers every job, so the
+    reassembled SAM stays complete).
+
     >>> profile = LoadProfile(tenants=2, requests_per_tenant=2,
     ...                       mean_interarrival_s=0.01)
     >>> schedule = synthesize_load_schedule(profile, num_jobs=3, seed=7)
@@ -118,9 +146,15 @@ def synthesize_load_schedule(
     (4, ['tenant0', 'tenant1'])
     >>> schedule == synthesize_load_schedule(profile, num_jobs=3, seed=7)
     True
+    >>> heavy = LoadProfile(tenants=2, requests_per_tenant=8,
+    ...                     schedule="duplicate_heavy")
+    >>> hot = synthesize_load_schedule(heavy, num_jobs=16, seed=7)
+    >>> sum(1 for r in hot if r.job < 2) > len(hot) // 2
+    True
     """
     if num_jobs < 1:
         raise ValueError(f"num_jobs must be >= 1, got {num_jobs}")
+    hot_jobs = max(1, num_jobs // 8)
     requests: List[ScheduledRequest] = []
     counter = 0
     for tenant_index in range(profile.tenants):
@@ -130,10 +164,14 @@ def synthesize_load_schedule(
         arrival = 0.0
         for gap in gaps:
             arrival += float(gap)
+            job = counter % num_jobs
+            if profile.schedule == "duplicate_heavy" \
+                    and rng.random() < profile.HOT_FRACTION:
+                job = int(rng.integers(0, hot_jobs))
             requests.append(ScheduledRequest(
                 arrival_s=arrival,
                 tenant=f"{TENANT_PREFIX}{tenant_index}",
-                job=counter % num_jobs,
+                job=job,
                 deadline_s=profile.deadline_s,
             ))
             counter += 1

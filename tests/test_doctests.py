@@ -21,6 +21,8 @@ DOCUMENTED_MODULES = [
     "repro.engine.prefilter",
     "repro.engine.memo",
     "repro.engine.parallel",
+    "repro.shard.plane",
+    "repro.shard.cache",
     "repro.serve.metrics",
     "repro.serve.request",
     "repro.serve.loadgen",

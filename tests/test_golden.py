@@ -167,33 +167,49 @@ class TestEngineMatchesGolden:
         updated, _report = realigner.realign(sample.reads)
         self._assert_matches(updated, golden, label)
 
-    @pytest.mark.parametrize("streaming", [False, True])
+    @pytest.mark.parametrize("plane", ["barrier", "stream", "shard"])
     @pytest.mark.parametrize(
         "kernel", ["auto", "scalar", "vector", "fft", "bitpack", "native"]
     )
-    def test_every_kernel_matches_golden_in_both_engines(
-        self, golden, sample, kernel, streaming
+    def test_every_kernel_matches_golden_in_every_plane(
+        self, golden, sample, kernel, plane
     ):
         """All five kernels (and auto) must land every read where the
-        golden does, through the barrier and streaming engines alike --
-        the dispatch layer is only allowed to change *when* results
-        arrive, never what they are. ``native`` runs here with or
-        without a compiled backend: its fallback path is exact too."""
+        golden does, through the barrier, streaming, and shard planes
+        alike -- the dispatch layer is only allowed to change *when*
+        results arrive, never what they are. ``native`` runs here with
+        or without a compiled backend: its fallback path is exact too.
+        The shard row realigns twice through one content-addressed
+        cache: a cold pass (every site computed, inserted) and a warm
+        pass (every site served from the cache) must both match the
+        golden -- serial == barrier == stream == shard, cold or warm."""
         from repro.engine import EngineConfig, StreamingEngine
         from repro.realign.realigner import IndelRealigner
 
         config = EngineConfig(workers=2, batch=3, kernel=kernel)
-        engine = StreamingEngine(config) if streaming else config
+        if plane == "stream":
+            engine = StreamingEngine(config)
+        elif plane == "shard":
+            from repro.shard import ShardPlane, SiteResultCache
+
+            engine = ShardPlane(config, shards=2,
+                                cache=SiteResultCache.from_megabytes(64))
+        else:
+            engine = config
         realigner = IndelRealigner(sample.reference, engine=engine)
         try:
             updated, _report = realigner.realign(sample.reads)
+            if plane == "shard":
+                warm, _report = realigner.realign(sample.reads)
+                assert engine.cache.hits > 0, (
+                    "second shard-plane pass should have served sites "
+                    "from the content-addressed cache"
+                )
+                self._assert_matches(warm, golden, f"{kernel}-shard-warm")
         finally:
-            if streaming:
+            if plane != "barrier":
                 engine.close()
-        self._assert_matches(
-            updated, golden,
-            f"{kernel}-{'stream' if streaming else 'barrier'}",
-        )
+        self._assert_matches(updated, golden, f"{kernel}-{plane}")
 
     def test_batched_kernel_reproduces_golden_grids(self):
         """min_whd_grid_batched(prefilter=False) must be cell-identical

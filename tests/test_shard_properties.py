@@ -1,0 +1,149 @@
+"""Chaos property tests for the horizontal shard plane.
+
+The single invariant, mirroring ``test_worker_chaos.py`` one level up:
+for *any* workload, *any* shard count, *any* region partition, and
+*any* seeded schedule of shard-worker faults -- SIGKILL, hang, delay,
+error -- the plane terminates and produces output byte-identical to a
+fault-free serial run, with re-dispatch work bounded (every chunk is
+dispatched at most ``max_attempts`` times before it is quarantined to
+the exact inline path). Hypothesis drives the seeds; the fault plan's
+keyed-generator design makes every failing example replayable.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Engine, EngineConfig
+from repro.resilience.workers import WorkerFaultPlan, WorkerRecovery
+from repro.shard import ShardPlane, ShardPlaneConfig, SiteResultCache
+from repro.workloads.generator import BENCH_PROFILE, synthesize_site
+
+#: Hang magnitudes are capped well under the deadline budget so a
+#: drawn hang costs one expiry (~1 s), not the default 60 s.
+_PLAN_OVERRIDES = {"hang_seconds": 2.0, "delay_range": (0.001, 0.01)}
+_DEADLINE = 0.75
+
+_SITE_CACHE = {}
+
+
+def _sites(n, seed, span):
+    """Sites spread over region buckets of width ``span``."""
+    key = (n, seed, span)
+    if key not in _SITE_CACHE:
+        rng = np.random.default_rng(seed)
+        _SITE_CACHE[key] = [
+            synthesize_site(rng, BENCH_PROFILE,
+                            complexity=0.25 + 0.2 * (i % 4),
+                            start=int(rng.integers(0, 64)) * span)
+            for i in range(n)
+        ]
+    return _SITE_CACHE[key]
+
+
+def _recovery(chaos_seed, rate):
+    return WorkerRecovery(
+        plan=WorkerFaultPlan.chaos(chaos_seed, rate, **_PLAN_OVERRIDES),
+        chunk_deadline=_DEADLINE,
+    )
+
+
+def _assert_identical(got, want):
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        assert a.same_outputs(b)
+        np.testing.assert_array_equal(a.min_whd, b.min_whd)
+        np.testing.assert_array_equal(a.new_pos, b.new_pos)
+
+
+class TestShardChaosProperties:
+    @given(
+        workload_seed=st.integers(0, 10_000),
+        n=st.integers(2, 10),
+        shards=st.integers(1, 4),
+        batch=st.integers(1, 3),
+        region_span=st.sampled_from([512, 4096, 65536]),
+    )
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_any_partition_matches_serial(
+        self, workload_seed, n, shards, batch, region_span
+    ):
+        """Fault-free: any shard count x any region partition merges to
+        the serial answer, byte for byte."""
+        sites = _sites(n, workload_seed, region_span)
+        want = Engine(EngineConfig(workers=1, batch=batch)).run_sites(sites)
+        plane_config = ShardPlaneConfig(shards=shards,
+                                        region_span=region_span)
+        with ShardPlane(EngineConfig(batch=batch),
+                        plane=plane_config) as plane:
+            _assert_identical(plane.run_sites(sites), want)
+
+    @given(
+        workload_seed=st.integers(0, 10_000),
+        chaos_seed=st.integers(0, 10_000),
+        n=st.integers(2, 8),
+        shards=st.integers(2, 3),
+        batch=st.integers(1, 3),
+        rate=st.floats(0.05, 0.5),
+    )
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_shard_chaos_matches_serial_with_bounded_redispatch(
+        self, workload_seed, chaos_seed, n, shards, batch, rate
+    ):
+        sites = _sites(n, workload_seed, 4096)
+        want = Engine(EngineConfig(workers=1, batch=batch)).run_sites(sites)
+        plane_config = ShardPlaneConfig(shards=shards)
+        with ShardPlane(EngineConfig(batch=batch), plane=plane_config,
+                        recovery=_recovery(chaos_seed, rate)) as plane:
+            _assert_identical(plane.run_sites(sites), want)
+            counters = dict(plane.recovery_counters)
+        # Re-dispatch work is bounded: every chunk gets at most
+        # max_attempts dispatches before inline quarantine, and each
+        # chunk completes exactly once.
+        chunks = counters.get("shard.completed_chunks", 0)
+        assert chunks >= 1
+        assert counters.get("shard.dispatched_chunks", 0) <= (
+            chunks * plane_config.max_attempts
+        )
+        assert counters.get("shard.sites", 0) == n
+
+    @given(
+        chaos_seed=st.integers(0, 10_000),
+        rate=st.floats(0.1, 0.6),
+    )
+    @settings(max_examples=3, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_chaos_with_cache_stays_identical(self, chaos_seed, rate):
+        """Cold pass under chaos, warm pass under the same chaos plan:
+        both byte-identical to serial, and the warm pass never
+        re-dispatches what the cache already holds."""
+        sites = _sites(6, seed=4242, span=4096)
+        want = Engine(EngineConfig(workers=1, batch=2)).run_sites(sites)
+        cache = SiteResultCache.from_megabytes(32)
+        with ShardPlane(EngineConfig(batch=2),
+                        plane=ShardPlaneConfig(shards=2),
+                        cache=cache,
+                        recovery=_recovery(chaos_seed, rate)) as plane:
+            _assert_identical(plane.run_sites(sites), want)
+            _assert_identical(plane.run_sites(sites), want)
+            warm = dict(plane.recovery_counters)
+        assert warm.get("shard.cache_hits", 0) == len(sites)
+        assert "shard.dispatched_chunks" not in warm
+
+    @given(chaos_seed=st.integers(0, 10_000))
+    @settings(max_examples=3, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_total_shard_loss_drains_inline(self, chaos_seed):
+        """Workers that always die leave the inline path to finish the
+        run -- forward progress never depends on a worker surviving."""
+        sites = _sites(4, seed=7, span=4096)
+        want = Engine(EngineConfig(workers=1, batch=2)).run_sites(sites)
+        plane_config = ShardPlaneConfig(shards=2, max_attempts=2,
+                                        quarantine_after=1)
+        with ShardPlane(EngineConfig(batch=2), plane=plane_config,
+                        recovery=_recovery(chaos_seed, 1.0)) as plane:
+            _assert_identical(plane.run_sites(sites), want)
+            counters = dict(plane.recovery_counters)
+        assert counters.get("shard.completed_chunks", 0) >= 1
